@@ -1,0 +1,364 @@
+//! Gavel (Narayanan et al., OSDI '20), the job-level heterogeneity-aware
+//! baseline.
+//!
+//! Gavel separates *policy* from *mechanism*:
+//!
+//! * The policy solves an optimization problem for the allocation matrix
+//!   `Y[j][r]` — the fraction of time job `j` should spend on GPU type `r`.
+//!   The paper configures Gavel "keeping the objective of its optimization
+//!   problem similar to ours", i.e. maximize total effective throughput;
+//!   Gavel's max-min (LAS) policy is also available.
+//! * The mechanism serves `Y` in rounds: each round, `(job, type)` pairs are
+//!   ranked by `priority[j][r] = Y[j][r] / received_fraction[j][r]` (types a
+//!   job is behind on rank higher) and admitted greedily while `W_j` GPUs of
+//!   type `r` remain — **all tasks on one type**, gang or nothing.
+//!
+//! The LP is re-solved only when the active job set changes (arrival or
+//! completion), matching Gavel's own implementation; above
+//! [`GavelConfig::exact_lp_max_jobs`] active jobs the density-greedy
+//! approximation from `hadar-solver` is used instead of the exact simplex.
+
+use std::collections::HashMap;
+
+use hadar_cluster::{Allocation, GpuTypeId, JobId, JobPlacement, PlacementSlice, Usage};
+use hadar_sim::{JobState, Scheduler, SchedulerContext};
+use hadar_solver::{
+    greedy_total_throughput, max_min_allocation, max_total_throughput_allocation, GavelLpInput,
+};
+
+/// Which Gavel policy objective to solve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum GavelPolicy {
+    /// Maximize `Σ_j Σ_r Y[j][r] · X_j^r · W_j` (the paper's comparison
+    /// setting).
+    #[default]
+    MaxTotalThroughput,
+    /// Maximize the minimum normalized throughput across jobs (Gavel's LAS
+    /// fairness policy).
+    MaxMinFairness,
+}
+
+/// Gavel configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct GavelConfig {
+    /// Policy objective.
+    pub policy: GavelPolicy,
+    /// Largest active-job count solved with the exact simplex; larger
+    /// instances use the greedy approximation (only relevant for the Fig. 7
+    /// scalability sweep and the early rounds of big static traces).
+    pub exact_lp_max_jobs: usize,
+}
+
+impl Default for GavelConfig {
+    fn default() -> Self {
+        Self {
+            policy: GavelPolicy::MaxTotalThroughput,
+            exact_lp_max_jobs: 256,
+        }
+    }
+}
+
+/// The Gavel baseline scheduler.
+pub struct GavelScheduler {
+    config: GavelConfig,
+    /// Cached allocation matrix rows per job.
+    y: HashMap<JobId, Vec<f64>>,
+    /// Rounds in which job `j` ran on type `r`.
+    rounds_received: HashMap<JobId, Vec<f64>>,
+    /// Job-set fingerprint of the cached LP solution.
+    cached_set: u64,
+}
+
+impl GavelScheduler {
+    /// Build with `config`.
+    pub fn new(config: GavelConfig) -> Self {
+        Self {
+            config,
+            y: HashMap::new(),
+            rounds_received: HashMap::new(),
+            cached_set: 0,
+        }
+    }
+
+    /// Build with defaults (the paper's comparison configuration).
+    pub fn paper_default() -> Self {
+        Self::new(GavelConfig::default())
+    }
+
+    fn job_set_fingerprint(jobs: &[JobState]) -> u64 {
+        let mut h: u64 = 0xcbf29ce484222325;
+        for s in jobs {
+            h ^= u64::from(s.job.id.0) + 1;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        h
+    }
+
+    fn solve(&mut self, ctx: &SchedulerContext<'_>) {
+        let num_types = ctx.cluster.num_types();
+        let input = GavelLpInput {
+            throughput: ctx
+                .jobs
+                .iter()
+                .map(|s| {
+                    (0..num_types)
+                        .map(|r| s.job.profile.rate(GpuTypeId(r as u16)))
+                        .collect()
+                })
+                .collect(),
+            gang: ctx.jobs.iter().map(|s| s.job.gang).collect(),
+            capacity: (0..num_types)
+                .map(|r| ctx.cluster.total_of_type(GpuTypeId(r as u16)))
+                .collect(),
+        };
+        let y = if ctx.jobs.len() > self.config.exact_lp_max_jobs {
+            greedy_total_throughput(&input)
+        } else {
+            match self.config.policy {
+                GavelPolicy::MaxTotalThroughput => max_total_throughput_allocation(&input)
+                    .unwrap_or_else(|| greedy_total_throughput(&input)),
+                GavelPolicy::MaxMinFairness => max_min_allocation(&input)
+                    .unwrap_or_else(|| greedy_total_throughput(&input)),
+            }
+        };
+        self.y.clear();
+        for (s, row) in ctx.jobs.iter().zip(y) {
+            self.y.insert(s.job.id, row);
+        }
+    }
+
+    /// Place `gang` GPUs of type `r` across machines (most free first), or
+    /// `None` if the type lacks capacity.
+    fn place_on_type(
+        ctx: &SchedulerContext<'_>,
+        usage: &Usage,
+        r: GpuTypeId,
+        gang: u32,
+    ) -> Option<JobPlacement> {
+        let mut machines: Vec<(u32, hadar_cluster::MachineId)> = ctx
+            .cluster
+            .machine_ids()
+            .filter_map(|h| {
+                let f = usage.free(ctx.cluster, h, r);
+                (f > 0).then_some((f, h))
+            })
+            .collect();
+        machines.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+        let mut remaining = gang;
+        let mut slices = Vec::new();
+        for (free, h) in machines {
+            if remaining == 0 {
+                break;
+            }
+            let take = free.min(remaining);
+            slices.push(PlacementSlice {
+                machine: h,
+                gpu: r,
+                count: take,
+            });
+            remaining -= take;
+        }
+        (remaining == 0).then(|| JobPlacement::from_slices(slices))
+    }
+}
+
+impl Scheduler for GavelScheduler {
+    fn name(&self) -> &str {
+        "Gavel"
+    }
+
+    fn schedule(&mut self, ctx: &SchedulerContext<'_>) -> Allocation {
+        if ctx.jobs.is_empty() {
+            return Allocation::empty();
+        }
+        let fp = Self::job_set_fingerprint(ctx.jobs);
+        if fp != self.cached_set || self.y.is_empty() {
+            self.solve(ctx);
+            self.cached_set = fp;
+        }
+
+        let num_types = ctx.cluster.num_types();
+        // Rank (job, type) pairs by Y / rounds-received (higher = more
+        // behind target share).
+        let mut ranked: Vec<(f64, usize, usize)> = Vec::new();
+        for (idx, s) in ctx.jobs.iter().enumerate() {
+            let Some(row) = self.y.get(&s.job.id) else {
+                continue;
+            };
+            let recv = self.rounds_received.entry(s.job.id).or_insert_with(|| {
+                vec![0.0; num_types]
+            });
+            for (r, &share) in row.iter().enumerate() {
+                if share > 1e-9 {
+                    let priority = share / (recv[r] + 1.0);
+                    ranked.push((priority, idx, r));
+                }
+            }
+        }
+        ranked.sort_by(|a, b| {
+            b.0.partial_cmp(&a.0)
+                .expect("finite priorities")
+                .then(a.1.cmp(&b.1))
+                .then(a.2.cmp(&b.2))
+        });
+
+        let mut usage = Usage::empty(ctx.cluster);
+        let mut alloc = Allocation::empty();
+        let mut placed: Vec<bool> = vec![false; ctx.jobs.len()];
+        for (_, idx, r) in ranked {
+            if placed[idx] {
+                continue;
+            }
+            let s = &ctx.jobs[idx];
+            let r = GpuTypeId(r as u16);
+            // Job-level granularity: the whole gang on this single type.
+            if let Some(p) = Self::place_on_type(ctx, &usage, r, s.job.gang) {
+                for sl in p.slices() {
+                    usage.add(sl.machine, sl.gpu, sl.count);
+                }
+                alloc.set(s.job.id, p);
+                placed[idx] = true;
+                if let Some(recv) = self.rounds_received.get_mut(&s.job.id) {
+                    recv[r.index()] += 1.0;
+                }
+            }
+        }
+        alloc
+    }
+
+    fn on_completion(&mut self, job: JobId) {
+        self.y.remove(&job);
+        self.rounds_received.remove(&job);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hadar_cluster::Cluster;
+    use hadar_sim::{SimConfig, Simulation};
+    use hadar_workload::{generate_trace, ArrivalPattern, DlTask, Job, TraceConfig};
+
+    #[test]
+    fn completes_static_trace() {
+        let cluster = Cluster::paper_simulation();
+        let jobs = generate_trace(
+            &TraceConfig {
+                num_jobs: 12,
+                seed: 1,
+                pattern: ArrivalPattern::Static,
+            },
+            cluster.catalog(),
+        );
+        let out = Simulation::new(cluster, jobs, SimConfig::default())
+            .run(GavelScheduler::paper_default());
+        assert_eq!(out.completed_jobs(), 12);
+        assert!(!out.timed_out);
+    }
+
+    #[test]
+    fn single_type_per_job_per_round() {
+        // Gavel's defining limitation: a job's placement never mixes types.
+        let cluster = Cluster::paper_simulation();
+        let jobs = generate_trace(
+            &TraceConfig {
+                num_jobs: 10,
+                seed: 2,
+                pattern: ArrivalPattern::Static,
+            },
+            cluster.catalog(),
+        );
+        struct Probe {
+            inner: GavelScheduler,
+            violations: usize,
+        }
+        impl Scheduler for Probe {
+            fn name(&self) -> &str {
+                "probe"
+            }
+            fn schedule(&mut self, ctx: &SchedulerContext<'_>) -> Allocation {
+                let a = self.inner.schedule(ctx);
+                for (_, p) in a.iter() {
+                    if p.gpu_types().len() > 1 {
+                        self.violations += 1;
+                    }
+                }
+                a
+            }
+            fn on_arrival(&mut self, job: &Job) {
+                self.inner.on_arrival(job);
+            }
+            fn on_completion(&mut self, job: JobId) {
+                self.inner.on_completion(job);
+            }
+        }
+        let mut probe = Probe {
+            inner: GavelScheduler::paper_default(),
+            violations: 0,
+        };
+        let out =
+            Simulation::new(cluster, jobs, SimConfig::default()).run(&mut probe);
+        assert_eq!(out.completed_jobs(), 10);
+        assert_eq!(probe.violations, 0, "Gavel must never mix GPU types");
+    }
+
+    #[test]
+    fn max_min_policy_also_completes() {
+        let cluster = Cluster::paper_simulation();
+        let jobs = generate_trace(
+            &TraceConfig {
+                num_jobs: 8,
+                seed: 3,
+                pattern: ArrivalPattern::Static,
+            },
+            cluster.catalog(),
+        );
+        let out = Simulation::new(cluster, jobs, SimConfig::default()).run(
+            GavelScheduler::new(GavelConfig {
+                policy: GavelPolicy::MaxMinFairness,
+                ..GavelConfig::default()
+            }),
+        );
+        assert_eq!(out.completed_jobs(), 8);
+    }
+
+    #[test]
+    fn greedy_fallback_used_beyond_threshold() {
+        let cluster = Cluster::paper_simulation();
+        let jobs = generate_trace(
+            &TraceConfig {
+                num_jobs: 10,
+                seed: 4,
+                pattern: ArrivalPattern::Static,
+            },
+            cluster.catalog(),
+        );
+        // Force the greedy path with a tiny threshold; everything must still
+        // complete.
+        let out = Simulation::new(cluster, jobs, SimConfig::default()).run(
+            GavelScheduler::new(GavelConfig {
+                exact_lp_max_jobs: 0,
+                ..GavelConfig::default()
+            }),
+        );
+        assert_eq!(out.completed_jobs(), 10);
+    }
+
+    #[test]
+    fn deterministic() {
+        let cluster = Cluster::paper_simulation();
+        let jobs = generate_trace(
+            &TraceConfig {
+                num_jobs: 9,
+                seed: 5,
+                pattern: ArrivalPattern::paper_continuous(),
+            },
+            cluster.catalog(),
+        );
+        let run = || {
+            Simulation::new(cluster.clone(), jobs.clone(), SimConfig::default())
+                .run(GavelScheduler::paper_default())
+        };
+        assert_eq!(run().jcts(), run().jcts());
+    }
+}

@@ -1,0 +1,360 @@
+//! Tiresias (Gu et al., NSDI '19), the heterogeneity-oblivious baseline.
+//!
+//! Tiresias ranks jobs by *discretized two-dimensional least attained
+//! service* (2D-LAS): attained service = GPUs × accumulated run time. Jobs
+//! whose attained service is below a threshold sit in the high-priority
+//! queue; past it they demote to the low-priority queue. Within a queue,
+//! ordering is FIFO by arrival. Scheduling is preemptive; the paper
+//! configures two queues with the `PromoteKnob` disabled (no re-promotion).
+//!
+//! Tiresias has no notion of GPU heterogeneity: by default it takes
+//! whatever free GPUs exist, so a gang can straddle fast and slow types and
+//! run at the slow type's rate — the failure mode Hadar's task-level
+//! awareness avoids. A single-type placement mode
+//! ([`TiresiasPlacement::SingleType`], matching the paper's remark that
+//! Tiresias "suffers from the same limitation as Gavel") is available for
+//! ablations.
+
+use hadar_cluster::{Allocation, JobPlacement, PlacementSlice, Usage};
+use hadar_sim::{JobState, Scheduler, SchedulerContext};
+
+/// Gang-placement mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TiresiasPlacement {
+    /// All tasks of a gang on one GPU type (falls back to mixed placement
+    /// only for gangs larger than any single type's total capacity, to
+    /// avoid permanent starvation). Avoids synchronization-barrier
+    /// straggling at the cost of idling heterogeneous leftovers.
+    SingleType,
+    /// Take free GPUs anywhere, mixing types freely — the default. A truly
+    /// type-blind manager straddles GPU generations and pays the slowest
+    /// type's rate for the whole gang, which is the utilization/JCT failure
+    /// mode the paper attributes to heterogeneity-oblivious schedulers.
+    #[default]
+    MixedOblivious,
+}
+
+/// Tiresias configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TiresiasConfig {
+    /// Attained-service threshold (GPU-seconds) separating the two queues.
+    /// Default: 10 GPU-hours — the boundary between the trace's
+    /// Small/Medium classes and its Large/XLarge classes, in line with the
+    /// Philly-trace queue tuning of the original paper (short jobs complete
+    /// entirely at high priority; only long jobs demote).
+    pub queue_threshold_gpu_seconds: f64,
+    /// Whether demoted jobs can re-promote after long starvation
+    /// (`PromoteKnob`). Disabled in the paper's evaluation.
+    pub promote: bool,
+    /// Gang-placement mode.
+    pub placement: TiresiasPlacement,
+}
+
+impl Default for TiresiasConfig {
+    fn default() -> Self {
+        Self {
+            queue_threshold_gpu_seconds: 36_000.0,
+            promote: false,
+            placement: TiresiasPlacement::default(),
+        }
+    }
+}
+
+/// The Tiresias baseline scheduler.
+pub struct TiresiasScheduler {
+    config: TiresiasConfig,
+}
+
+impl TiresiasScheduler {
+    /// Build with `config`.
+    pub fn new(config: TiresiasConfig) -> Self {
+        Self { config }
+    }
+
+    /// The paper's configuration: two queues, `PromoteKnob` disabled.
+    pub fn paper_default() -> Self {
+        Self::new(TiresiasConfig::default())
+    }
+
+    /// Queue index of a job: 0 (high priority) below the threshold, 1 after
+    /// demotion.
+    fn queue_of(&self, s: &JobState) -> usize {
+        usize::from(s.attained_service() >= self.config.queue_threshold_gpu_seconds)
+    }
+
+    /// Heterogeneity-oblivious placement. Both modes keep a running job on
+    /// its GPUs when they are still available and consolidate onto as few
+    /// machines as possible (Tiresias ships a consolidating placement
+    /// component); neither consults per-type throughput.
+    fn place(&self, ctx: &SchedulerContext<'_>, usage: &Usage, s: &JobState) -> Option<JobPlacement> {
+        // Sticky: reuse the previous placement when still free.
+        if !s.placement.is_empty()
+            && s.placement
+                .slices()
+                .iter()
+                .all(|sl| usage.free(ctx.cluster, sl.machine, sl.gpu) >= sl.count)
+        {
+            return Some(s.placement.clone());
+        }
+        match self.config.placement {
+            TiresiasPlacement::SingleType => {
+                if let Some(p) = Self::place_single_type(ctx, usage, s) {
+                    return Some(p);
+                }
+                // A gang no single type can ever host falls back to mixed
+                // placement rather than starving forever.
+                let max_type_cap = ctx
+                    .cluster
+                    .catalog()
+                    .ids()
+                    .map(|r| ctx.cluster.total_of_type(r))
+                    .max()
+                    .unwrap_or(0);
+                if s.job.gang > max_type_cap {
+                    return Self::place_mixed(ctx, usage, s);
+                }
+                None
+            }
+            TiresiasPlacement::MixedOblivious => Self::place_mixed(ctx, usage, s),
+        }
+    }
+
+    /// All tasks on whichever single type has the most free GPUs (oblivious
+    /// to throughput), consolidated most-free-machine-first.
+    fn place_single_type(
+        ctx: &SchedulerContext<'_>,
+        usage: &Usage,
+        s: &JobState,
+    ) -> Option<JobPlacement> {
+        let r = ctx
+            .cluster
+            .catalog()
+            .ids()
+            .filter(|&r| s.job.profile.rate(r) > 0.0)
+            .map(|r| (usage.free_of_type(ctx.cluster, r), r))
+            .filter(|&(free, _)| free >= s.job.gang)
+            .max_by_key(|&(free, r)| (free, std::cmp::Reverse(r)))?
+            .1;
+        let mut machines: Vec<(u32, hadar_cluster::MachineId)> = ctx
+            .cluster
+            .machine_ids()
+            .filter_map(|h| {
+                let free = usage.free(ctx.cluster, h, r);
+                (free > 0).then_some((free, h))
+            })
+            .collect();
+        machines.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+        let mut remaining = s.job.gang;
+        let mut slices = Vec::new();
+        for (free, h) in machines {
+            if remaining == 0 {
+                break;
+            }
+            let take = free.min(remaining);
+            slices.push(PlacementSlice {
+                machine: h,
+                gpu: r,
+                count: take,
+            });
+            remaining -= take;
+        }
+        (remaining == 0).then(|| JobPlacement::from_slices(slices))
+    }
+
+    /// Mixed-type fill, most-free machines first.
+    fn place_mixed(
+        ctx: &SchedulerContext<'_>,
+        usage: &Usage,
+        s: &JobState,
+    ) -> Option<JobPlacement> {
+        let mut machines: Vec<(u32, hadar_cluster::MachineId)> = ctx
+            .cluster
+            .machine_ids()
+            .filter_map(|h| {
+                let free = usage.free_on_machine(ctx.cluster, h);
+                (free > 0).then_some((free, h))
+            })
+            .collect();
+        machines.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+
+        let mut remaining = s.job.gang;
+        let mut slices = Vec::new();
+        for (_, h) in machines {
+            for r in ctx.cluster.catalog().ids() {
+                if remaining == 0 {
+                    break;
+                }
+                // Unusable types (rate 0) would stall the gang forever.
+                if s.job.profile.rate(r) <= 0.0 {
+                    continue;
+                }
+                let free = usage.free(ctx.cluster, h, r);
+                let take = free.min(remaining);
+                if take > 0 {
+                    slices.push(PlacementSlice {
+                        machine: h,
+                        gpu: r,
+                        count: take,
+                    });
+                    remaining -= take;
+                }
+            }
+            if remaining == 0 {
+                break;
+            }
+        }
+        (remaining == 0).then(|| JobPlacement::from_slices(slices))
+    }
+}
+
+impl Scheduler for TiresiasScheduler {
+    fn name(&self) -> &str {
+        "Tiresias"
+    }
+
+    fn schedule(&mut self, ctx: &SchedulerContext<'_>) -> Allocation {
+        // Priority order: queue 0 before queue 1, FIFO (arrival, then id)
+        // within each queue. With `promote` enabled, severely starved jobs
+        // are lifted back to queue 0.
+        let mut order: Vec<usize> = (0..ctx.jobs.len()).collect();
+        let queue_of = |s: &JobState| -> usize {
+            let mut q = self.queue_of(s);
+            if self.config.promote && q == 1 {
+                // Re-promote when a job has waited idle longer than it has
+                // run (the PromoteKnob heuristic).
+                let waited = (ctx.time - s.job.arrival).max(0.0) - s.service_seconds;
+                if waited > s.service_seconds {
+                    q = 0;
+                }
+            }
+            q
+        };
+        order.sort_by(|&a, &b| {
+            let (sa, sb) = (&ctx.jobs[a], &ctx.jobs[b]);
+            queue_of(sa)
+                .cmp(&queue_of(sb))
+                .then(
+                    sa.job
+                        .arrival
+                        .partial_cmp(&sb.job.arrival)
+                        .expect("finite arrivals"),
+                )
+                .then(sa.job.id.cmp(&sb.job.id))
+        });
+
+        let mut usage = Usage::empty(ctx.cluster);
+        let mut alloc = Allocation::empty();
+        for idx in order {
+            let s = &ctx.jobs[idx];
+            if let Some(p) = self.place(ctx, &usage, s) {
+                for sl in p.slices() {
+                    usage.add(sl.machine, sl.gpu, sl.count);
+                }
+                alloc.set(s.job.id, p);
+            }
+        }
+        alloc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hadar_cluster::{Cluster, JobId};
+    use hadar_sim::{SimConfig, Simulation};
+    use hadar_workload::{generate_trace, ArrivalPattern, DlTask, Job, TraceConfig};
+
+    #[test]
+    fn completes_static_trace() {
+        let cluster = Cluster::paper_simulation();
+        let jobs = generate_trace(
+            &TraceConfig {
+                num_jobs: 12,
+                seed: 1,
+                pattern: ArrivalPattern::Static,
+            },
+            cluster.catalog(),
+        );
+        let out = Simulation::new(cluster, jobs, SimConfig::default())
+            .run(TiresiasScheduler::paper_default());
+        assert_eq!(out.completed_jobs(), 12);
+        assert!(!out.timed_out);
+    }
+
+    #[test]
+    fn short_jobs_preempt_demoted_long_jobs() {
+        // One huge job saturates the cluster past the LAS threshold; a short
+        // job arriving later must still finish quickly (queue-0 priority).
+        let mut b = hadar_cluster::ClusterBuilder::new();
+        let v100 = b.gpu_type("V100");
+        b.machine(&[(v100, 2)]);
+        let cluster = b.build();
+        // Long job: ~25 000 s of work on 2 GPUs; it demotes once attained
+        // service passes 36 000 GPU-s (t = 18 000 s).
+        let long = Job::for_model(JobId(0), DlTask::ResNet50, cluster.catalog(), 0.0, 2, 300);
+        // Arrives after the long job has demoted to queue 1.
+        let short = Job::for_model(JobId(1), DlTask::ResNet18, cluster.catalog(), 19_000.0, 2, 20);
+        let short_solo = short.min_runtime();
+        let out = Simulation::new(cluster, vec![long, short], SimConfig::default())
+            .run(TiresiasScheduler::paper_default());
+        assert_eq!(out.completed_jobs(), 2);
+        let short_jct = out.records[1].jct().unwrap();
+        // The short job should run promptly after arrival, not wait for the
+        // long job's multi-hour tail: allow round quantization + checkpoint.
+        assert!(
+            short_jct < short_solo + 2.0 * 360.0 + 20.0,
+            "short job waited too long: jct={short_jct}, solo={short_solo}"
+        );
+    }
+
+    #[test]
+    fn queue_demotion_at_threshold() {
+        let cluster = Cluster::paper_simulation();
+        let job = Job::for_model(JobId(0), DlTask::Lstm, cluster.catalog(), 0.0, 4, 100);
+        let sched = TiresiasScheduler::paper_default();
+        let mut state = JobState::new(job);
+        assert_eq!(sched.queue_of(&state), 0);
+        state.service_seconds = 8_999.9; // 4 GPUs × 8999.9 s < 36 000 GPU-s
+        assert_eq!(sched.queue_of(&state), 0);
+        state.service_seconds = 9_000.1;
+        assert_eq!(sched.queue_of(&state), 1);
+    }
+
+    #[test]
+    fn oblivious_placement_can_mix_types() {
+        // 1 V100 + 1 K80 and a gang of 2: Tiresias happily straddles both,
+        // running at the K80's rate.
+        let mut b = hadar_cluster::ClusterBuilder::new();
+        let v100 = b.gpu_type("V100");
+        let k80 = b.gpu_type("K80");
+        b.machine(&[(v100, 1)]);
+        b.machine(&[(k80, 1)]);
+        let cluster = b.build();
+        let job = Job::for_model(JobId(0), DlTask::ResNet18, cluster.catalog(), 0.0, 2, 50);
+        let k80_paced = job.total_iterations() / (2.0 * job.profile.rate(k80));
+        let out = Simulation::new(cluster, vec![job], SimConfig::default())
+            .run(TiresiasScheduler::paper_default());
+        let jct = out.records[0].jct().unwrap();
+        // Bottlenecked by the K80 (plus checkpoint + comm degradation), far
+        // slower than if it were V100-only.
+        assert!(jct >= k80_paced, "jct={jct} vs k80 pace {k80_paced}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let cluster = Cluster::paper_simulation();
+        let jobs = generate_trace(
+            &TraceConfig {
+                num_jobs: 10,
+                seed: 7,
+                pattern: ArrivalPattern::paper_continuous(),
+            },
+            cluster.catalog(),
+        );
+        let run = || {
+            Simulation::new(cluster.clone(), jobs.clone(), SimConfig::default())
+                .run(TiresiasScheduler::paper_default())
+        };
+        assert_eq!(run().jcts(), run().jcts());
+    }
+}

@@ -1,0 +1,86 @@
+//! Criterion counterpart of Fig. 7: per-round scheduling-decision cost for
+//! Hadar's dual subroutine and Gavel's policy LP as the queue grows (the
+//! cluster scales with the workload, as in the paper).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use hadar_bench::figures::fig7::scaled_cluster;
+use hadar_cluster::{CommCostModel, Usage};
+use hadar_core::dp::greedy_allocation;
+use hadar_core::find_alloc::AllocEnv;
+use hadar_core::{EffectiveThroughput, PriceState};
+use hadar_sim::JobState;
+use hadar_solver::{max_total_throughput_allocation, GavelLpInput};
+use hadar_workload::{generate_trace, ArrivalPattern, TraceConfig};
+
+fn states_for(n: usize) -> (hadar_cluster::Cluster, Vec<JobState>) {
+    let cluster = scaled_cluster(n);
+    let jobs = generate_trace(
+        &TraceConfig {
+            num_jobs: n,
+            seed: 3,
+            pattern: ArrivalPattern::Static,
+        },
+        cluster.catalog(),
+    );
+    let states = jobs.into_iter().map(JobState::new).collect();
+    (cluster, states)
+}
+
+fn bench_hadar_decision(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hadar_round_decision");
+    group.sample_size(10);
+    for n in [32usize, 128, 512] {
+        let (cluster, states) = states_for(n);
+        let comm = CommCostModel::default();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let prices = PriceState::compute(&states, &cluster, &EffectiveThroughput, 0.0);
+                let env = AllocEnv {
+                    cluster: &cluster,
+                    comm: &comm,
+                    prices: &prices,
+                    utility: &EffectiveThroughput,
+                    now: 0.0,
+                    realloc_stall: 10.0,
+                    features: Default::default(),
+                    machine_factors: &[],
+                };
+                let usage = Usage::empty(&cluster);
+                let queue: Vec<&JobState> = states.iter().collect();
+                greedy_allocation(&queue, &env, &usage)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_gavel_lp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gavel_policy_lp");
+    group.sample_size(10);
+    for n in [32usize, 128, 512] {
+        let (cluster, states) = states_for(n);
+        let num_types = cluster.num_types();
+        let input = GavelLpInput {
+            throughput: states
+                .iter()
+                .map(|s| {
+                    (0..num_types)
+                        .map(|r| s.job.profile.rate(hadar_cluster::GpuTypeId(r as u16)))
+                        .collect()
+                })
+                .collect(),
+            gang: states.iter().map(|s| s.job.gang).collect(),
+            capacity: (0..num_types)
+                .map(|r| cluster.total_of_type(hadar_cluster::GpuTypeId(r as u16)))
+                .collect(),
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| max_total_throughput_allocation(&input).expect("feasible"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_hadar_decision, bench_gavel_lp);
+criterion_main!(benches);

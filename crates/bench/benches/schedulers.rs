@@ -1,0 +1,28 @@
+//! End-to-end simulation cost per scheduler: one complete 24-job static
+//! trace on the paper's 60-GPU cluster. Tracks how expensive a *whole*
+//! evaluation run is for each policy (Hadar pays for its per-round
+//! optimization; the baselines are near-free by comparison).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use hadar_bench::{paper_sim_scenario, run_scenario, SchedulerKind};
+use hadar_workload::ArrivalPattern;
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut group = c.benchmark_group("end_to_end_sim_24jobs");
+    group.sample_size(10);
+    for kind in SchedulerKind::HEADLINE {
+        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, &k| {
+            b.iter(|| {
+                let s = paper_sim_scenario(24, 9, ArrivalPattern::Static);
+                let out = run_scenario(s.cluster, s.jobs, s.config, k);
+                assert_eq!(out.completed_jobs(), 24);
+                out.mean_jct()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_end_to_end);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! LP-solver microbenchmarks: the exact simplex on Gavel-shaped
+//! transportation LPs vs the density-greedy approximation, across instance
+//! sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use hadar_solver::{greedy_total_throughput, max_total_throughput_allocation, GavelLpInput};
+
+fn instance(jobs: usize, seed: u64) -> GavelLpInput {
+    // Deterministic xorshift-based synthetic instance, 3 GPU types.
+    let mut state = seed | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state >> 11) as f64 / (1u64 << 53) as f64
+    };
+    GavelLpInput {
+        throughput: (0..jobs)
+            .map(|_| {
+                let base = 1.0 + 30.0 * next();
+                vec![base, base * (0.3 + 0.4 * next()), base * (0.05 + 0.2 * next())]
+            })
+            .collect(),
+        gang: (0..jobs).map(|_| 1 + (next() * 4.0) as u32).collect(),
+        capacity: vec![
+            (jobs as u32 / 4).max(2),
+            (jobs as u32 / 4).max(2),
+            (jobs as u32 / 4).max(2),
+        ],
+    }
+}
+
+fn bench_simplex(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simplex_transportation");
+    group.sample_size(10);
+    for n in [32usize, 128, 512] {
+        let input = instance(n, 0xABCD);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| max_total_throughput_allocation(&input).expect("feasible"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_greedy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("greedy_transportation");
+    for n in [32usize, 128, 512, 2048] {
+        let input = instance(n, 0xABCD);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| greedy_total_throughput(&input))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_simplex, bench_greedy);
+criterion_main!(benches);

@@ -1,0 +1,11 @@
+//! Run the Hadar design-choice ablation grid. Pass `--quick` for a
+//! reduced-size run.
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let r = hadar_bench::figures::ablation::run(quick);
+    println!("{}", r.summary);
+    for path in r.csv_paths {
+        println!("  wrote {}", path.display());
+    }
+}

@@ -1,0 +1,43 @@
+//! Regenerate every table and figure of the paper's evaluation section and
+//! print the consolidated summary (the source of EXPERIMENTS.md's
+//! "measured" columns). CSV series land under `results/`.
+//!
+//! Usage: `all_experiments [--quick]`.
+
+use hadar_bench::figures;
+use hadar_bench::figures::fig3::Panel;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let t0 = std::time::Instant::now();
+    let results = vec![
+        figures::table2::run(quick),
+        figures::fig3::run(Panel::Static, quick),
+        figures::fig3::run(Panel::Continuous, quick),
+        figures::fig4::run(quick),
+        figures::fig5::run(quick),
+        figures::fig6::run(quick),
+        figures::fig7::run(quick),
+        figures::fig8::run(quick),
+        figures::fig9::run(quick),
+        figures::table3::run(quick),
+        figures::table4::run(quick),
+        figures::ablation::run(quick),
+        figures::stragglers::run(quick),
+        figures::extensions::run(quick),
+    ];
+    println!("==============================================================");
+    for r in &results {
+        println!("--- {} ---", r.name);
+        println!("{}", r.summary);
+        for p in &r.csv_paths {
+            println!("  wrote {}", p.display());
+        }
+        println!();
+    }
+    println!(
+        "all {} experiments regenerated in {:?}",
+        results.len(),
+        t0.elapsed()
+    );
+}

@@ -1,0 +1,23 @@
+//! Regenerate Fig. 3 (completed-jobs CDF). Usage:
+//! `fig3 [static|continuous] [--quick]` (default: both panels, full size).
+
+use hadar_bench::figures::fig3::{run, Panel};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let panels: Vec<Panel> = if args.iter().any(|a| a == "static") {
+        vec![Panel::Static]
+    } else if args.iter().any(|a| a == "continuous") {
+        vec![Panel::Continuous]
+    } else {
+        vec![Panel::Static, Panel::Continuous]
+    };
+    for p in panels {
+        let r = run(p, quick);
+        println!("{}", r.summary);
+        for path in r.csv_paths {
+            println!("  wrote {}", path.display());
+        }
+    }
+}

@@ -1,0 +1,10 @@
+//! Regenerate Fig8 of the paper. Pass `--quick` for a reduced-size run.
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let r = hadar_bench::figures::fig8::run(quick);
+    println!("{}", r.summary);
+    for path in r.csv_paths {
+        println!("  wrote {}", path.display());
+    }
+}

@@ -1,0 +1,37 @@
+//! Quick development sanity check: run the four headline schedulers on a
+//! moderate trace and print the metric ordering. Not one of the paper's
+//! figures — see `fig3` … `table4` for those.
+
+use hadar_bench::{paper_sim_scenario, run_scenario, SchedulerKind};
+use hadar_workload::ArrivalPattern;
+
+fn main() {
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(60);
+    let pattern = if std::env::args().any(|a| a == "continuous") {
+        ArrivalPattern::paper_continuous()
+    } else {
+        ArrivalPattern::Static
+    };
+    println!("{n} jobs, pattern {pattern:?}");
+    for kind in SchedulerKind::HEADLINE {
+        let s = paper_sim_scenario(n, 42, pattern);
+        let t0 = std::time::Instant::now();
+        let out = run_scenario(s.cluster, s.jobs, s.config, kind);
+        println!(
+            "{:<10} meanJCT {:>8.2} h | medJCT {:>8.2} h | makespan {:>8.2} h | util {:>5.1}% | FTF {:>6.2} | qdelay {:>7.2} h | realloc {:>4.1}% | done {} | wall {:?}",
+            out.scheduler,
+            out.mean_jct() / 3600.0,
+            out.median_jct() / 3600.0,
+            out.makespan() / 3600.0,
+            out.demand_weighted_utilization() * 100.0,
+            out.ftf().mean,
+            out.queuing_delays().mean / 3600.0,
+            out.reallocation_rate() * 100.0,
+            out.completed_jobs(),
+            t0.elapsed(),
+        );
+    }
+}

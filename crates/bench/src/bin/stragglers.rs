@@ -1,0 +1,11 @@
+//! Run the straggler-resilience comparison. Pass `--quick` for a
+//! reduced-size run.
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let r = hadar_bench::figures::stragglers::run(quick);
+    println!("{}", r.summary);
+    for path in r.csv_paths {
+        println!("  wrote {}", path.display());
+    }
+}

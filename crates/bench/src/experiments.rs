@@ -1,0 +1,136 @@
+//! Scheduler factory and shared run helpers for the experiment binaries.
+
+use hadar_baselines::{
+    GavelConfig, GavelPolicy, GavelScheduler, SrtfScheduler, TiresiasScheduler, YarnCsScheduler,
+};
+use hadar_cluster::Cluster;
+use hadar_core::{FtfUtility, HadarConfig, HadarScheduler, MinMakespan, UtilityKind};
+use hadar_sim::{Scheduler, SimConfig, SimOutcome, Simulation};
+use hadar_workload::Job;
+
+/// The schedulers compared in the evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedulerKind {
+    /// Hadar with its default (effective-throughput) objective.
+    Hadar,
+    /// Hadar expressing the makespan-minimization policy (Fig. 6).
+    HadarMakespan,
+    /// Hadar expressing the finish-time-fairness policy.
+    HadarFtf,
+    /// Gavel with the max-total-throughput objective (the paper's setting).
+    Gavel,
+    /// Gavel with its max-min fairness (LAS) policy.
+    GavelMaxMin,
+    /// Tiresias, two queues, PromoteKnob off.
+    Tiresias,
+    /// YARN capacity scheduler.
+    YarnCs,
+    /// Extension baseline: heterogeneity-aware SRTF (not in the paper).
+    Srtf,
+}
+
+impl SchedulerKind {
+    /// The four schedulers of the headline comparisons (Figs. 3–4).
+    pub const HEADLINE: [SchedulerKind; 4] = [
+        SchedulerKind::Hadar,
+        SchedulerKind::Gavel,
+        SchedulerKind::Tiresias,
+        SchedulerKind::YarnCs,
+    ];
+
+    /// Display name matching the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            SchedulerKind::Hadar => "Hadar",
+            SchedulerKind::HadarMakespan => "Hadar (makespan)",
+            SchedulerKind::HadarFtf => "Hadar (FTF)",
+            SchedulerKind::Gavel => "Gavel",
+            SchedulerKind::GavelMaxMin => "Gavel (max-min)",
+            SchedulerKind::Tiresias => "Tiresias",
+            SchedulerKind::YarnCs => "YARN-CS",
+            SchedulerKind::Srtf => "SRTF",
+        }
+    }
+
+    /// Instantiate the scheduler. `cluster`/`n_jobs` parameterize the
+    /// FTF-objective variant.
+    pub fn build(self, cluster: &Cluster, n_jobs: usize) -> Box<dyn Scheduler> {
+        match self {
+            SchedulerKind::Hadar => Box::new(HadarScheduler::new(HadarConfig::default())),
+            SchedulerKind::HadarMakespan => Box::new(HadarScheduler::new(
+                HadarConfig::with_utility(UtilityKind::MinMakespan(MinMakespan::default())),
+            )),
+            SchedulerKind::HadarFtf => Box::new(HadarScheduler::new(HadarConfig::with_utility(
+                UtilityKind::Ftf(FtfUtility::new(cluster.clone(), n_jobs)),
+            ))),
+            SchedulerKind::Gavel => Box::new(GavelScheduler::paper_default()),
+            SchedulerKind::GavelMaxMin => Box::new(GavelScheduler::new(GavelConfig {
+                policy: GavelPolicy::MaxMinFairness,
+                ..GavelConfig::default()
+            })),
+            SchedulerKind::Tiresias => Box::new(TiresiasScheduler::paper_default()),
+            SchedulerKind::YarnCs => Box::new(YarnCsScheduler::new()),
+            SchedulerKind::Srtf => Box::new(SrtfScheduler::new()),
+        }
+    }
+}
+
+/// Run one simulation of `kind` over `jobs` on `cluster`.
+pub fn run_scenario(
+    cluster: Cluster,
+    jobs: Vec<Job>,
+    config: SimConfig,
+    kind: SchedulerKind,
+) -> SimOutcome {
+    let n = jobs.len();
+    let scheduler = kind.build(&cluster, n);
+    let mut outcome = Simulation::new(cluster, jobs, config).run(scheduler);
+    // Label with the comparison name (e.g. distinguish Hadar variants).
+    outcome.scheduler = kind.name().to_owned();
+    outcome
+}
+
+/// The directory experiment binaries write CSVs to.
+pub fn results_dir() -> std::path::PathBuf {
+    std::path::PathBuf::from(
+        std::env::var("HADAR_RESULTS_DIR").unwrap_or_else(|_| "results".to_owned()),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hadar_workload::{generate_trace, ArrivalPattern, TraceConfig};
+
+    #[test]
+    fn every_kind_builds_and_runs() {
+        let cluster = Cluster::paper_simulation();
+        let jobs = generate_trace(
+            &TraceConfig {
+                num_jobs: 6,
+                seed: 9,
+                pattern: ArrivalPattern::Static,
+            },
+            cluster.catalog(),
+        );
+        for kind in [
+            SchedulerKind::Hadar,
+            SchedulerKind::HadarMakespan,
+            SchedulerKind::HadarFtf,
+            SchedulerKind::Gavel,
+            SchedulerKind::GavelMaxMin,
+            SchedulerKind::Tiresias,
+            SchedulerKind::YarnCs,
+            SchedulerKind::Srtf,
+        ] {
+            let out = run_scenario(
+                cluster.clone(),
+                jobs.clone(),
+                SimConfig::default(),
+                kind,
+            );
+            assert_eq!(out.completed_jobs(), 6, "{}", kind.name());
+            assert_eq!(out.scheduler, kind.name());
+        }
+    }
+}

@@ -1,0 +1,150 @@
+//! Ablation study of Hadar's design choices (not a paper figure; supports
+//! DESIGN.md §7's "who wins and why" analysis by switching individual
+//! mechanisms off):
+//!
+//! * **mixed-type placement** — the task-level flexibility itself,
+//! * **sticky placements** — the stall-free keep-current candidate,
+//! * **greedy vs DP** dual subroutine,
+//! * **throughput profiling noise** — decisions from noisy estimates,
+//! * **checkpoint penalty model** — none / flat 10 s / calibrated.
+
+use hadar_core::profiler::ProfilerConfig;
+use hadar_core::{AllocMode, Features, HadarConfig, HadarScheduler};
+use hadar_metrics::CsvWriter;
+use hadar_sim::{CheckpointModel, PreemptionPenalty, Simulation};
+use hadar_workload::ArrivalPattern;
+
+use crate::figures::{results_dir, FigureResult};
+use crate::scenarios::paper_sim_scenario;
+
+struct Variant {
+    label: &'static str,
+    config: fn() -> HadarConfig,
+    penalty: PreemptionPenalty,
+}
+
+fn variants() -> Vec<Variant> {
+    vec![
+        Variant {
+            label: "full (default)",
+            config: HadarConfig::default,
+            penalty: PreemptionPenalty::Fixed(10.0),
+        },
+        Variant {
+            label: "no mixed types",
+            config: || HadarConfig {
+                features: Features {
+                    mixed_types: false,
+                    ..Features::default()
+                },
+                ..HadarConfig::default()
+            },
+            penalty: PreemptionPenalty::Fixed(10.0),
+        },
+        Variant {
+            label: "no sticky placements",
+            config: || HadarConfig {
+                features: Features {
+                    sticky: false,
+                    ..Features::default()
+                },
+                ..HadarConfig::default()
+            },
+            penalty: PreemptionPenalty::Fixed(10.0),
+        },
+        Variant {
+            label: "greedy-only subroutine",
+            config: || HadarConfig {
+                alloc_mode: AllocMode::Greedy,
+                ..HadarConfig::default()
+            },
+            penalty: PreemptionPenalty::Fixed(10.0),
+        },
+        Variant {
+            label: "no incremental updates",
+            config: || HadarConfig {
+                incremental: false,
+                ..HadarConfig::default()
+            },
+            penalty: PreemptionPenalty::Fixed(10.0),
+        },
+        Variant {
+            label: "noisy profiling (20%)",
+            config: || HadarConfig {
+                profiler: Some(ProfilerConfig {
+                    rounds: 3,
+                    noise: 0.2,
+                    seed: 1,
+                }),
+                ..HadarConfig::default()
+            },
+            penalty: PreemptionPenalty::Fixed(10.0),
+        },
+        Variant {
+            label: "no checkpoint penalty",
+            config: HadarConfig::default,
+            penalty: PreemptionPenalty::None,
+        },
+        Variant {
+            label: "modeled checkpoint penalty",
+            config: HadarConfig::default,
+            penalty: PreemptionPenalty::Modeled(CheckpointModel::default()),
+        },
+    ]
+}
+
+/// Run the ablation grid.
+pub fn run(quick: bool) -> FigureResult {
+    let num_jobs = if quick { 30 } else { 160 };
+    let seed = 42;
+
+    let mut csv = CsvWriter::new(&[
+        "variant",
+        "mean_jct_hours",
+        "median_jct_hours",
+        "makespan_hours",
+        "demand_weighted_utilization",
+        "reallocation_rate",
+    ]);
+    let mut summary = format!("Ablation: Hadar design choices ({num_jobs} static jobs)\n");
+
+    for v in variants() {
+        let mut s = paper_sim_scenario(num_jobs, seed, ArrivalPattern::Static);
+        s.config.penalty = v.penalty;
+        let out = Simulation::new(s.cluster, s.jobs, s.config)
+            .run(HadarScheduler::new((v.config)()));
+        assert_eq!(out.completed_jobs(), num_jobs, "{}", v.label);
+        csv.row(vec![
+            v.label.to_owned(),
+            format!("{:.3}", out.mean_jct() / 3600.0),
+            format!("{:.3}", out.median_jct() / 3600.0),
+            format!("{:.3}", out.makespan() / 3600.0),
+            format!("{:.4}", out.demand_weighted_utilization()),
+            format!("{:.4}", out.reallocation_rate()),
+        ]);
+        summary.push_str(&format!(
+            "  {:<27} mean JCT {:>7.2} h | makespan {:>7.2} h | util {:>5.1}% | realloc {:>4.1}%\n",
+            v.label,
+            out.mean_jct() / 3600.0,
+            out.makespan() / 3600.0,
+            out.demand_weighted_utilization() * 100.0,
+            out.reallocation_rate() * 100.0,
+        ));
+    }
+
+    let path = results_dir().join("ablation_hadar.csv");
+    csv.write_to(&path).expect("write ablation csv");
+    FigureResult::new("ablation", summary, vec![path])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_variants_complete() {
+        let r = run(true);
+        let csv = std::fs::read_to_string(&r.csv_paths[0]).unwrap();
+        assert_eq!(csv.lines().count(), 1 + variants().len());
+    }
+}

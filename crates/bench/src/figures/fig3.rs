@@ -1,0 +1,110 @@
+//! Fig. 3: cumulative fraction of jobs completed along the timeline, for the
+//! static (3a) and continuous (3b) traces, under all four schedulers.
+
+use hadar_metrics::{line_chart, CsvWriter};
+use hadar_workload::ArrivalPattern;
+
+use crate::experiments::{run_scenario, SchedulerKind};
+use crate::figures::{ratio, results_dir, FigureResult};
+use crate::scenarios::paper_sim_scenario;
+
+/// Which of the two Fig. 3 panels to regenerate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Panel {
+    /// Fig. 3a: all 480 jobs available at t = 0.
+    Static,
+    /// Fig. 3b: Poisson arrivals at λ = 60 jobs/hour.
+    Continuous,
+}
+
+impl Panel {
+    fn pattern(self) -> ArrivalPattern {
+        match self {
+            Panel::Static => ArrivalPattern::Static,
+            Panel::Continuous => ArrivalPattern::paper_continuous(),
+        }
+    }
+    fn label(self) -> &'static str {
+        match self {
+            Panel::Static => "static",
+            Panel::Continuous => "continuous",
+        }
+    }
+}
+
+/// Regenerate one panel of Fig. 3.
+pub fn run(panel: Panel, quick: bool) -> FigureResult {
+    let num_jobs = if quick { 40 } else { 480 };
+    let seed = 42;
+
+    let mut csv = CsvWriter::new(&["scheduler", "time_hours", "fraction_completed"]);
+    let mut summary = format!("Fig. 3 ({}): {num_jobs} jobs, seed {seed}\n", panel.label());
+    let mut hadar_mean = 0.0;
+    let mut hadar_median = 0.0;
+    let mut cdf_series: Vec<(String, Vec<(f64, f64)>)> = Vec::new();
+
+    for kind in SchedulerKind::HEADLINE {
+        let s = paper_sim_scenario(num_jobs, seed, panel.pattern());
+        let out = run_scenario(s.cluster, s.jobs, s.config, kind);
+        assert_eq!(out.completed_jobs(), num_jobs, "{} run incomplete", out.scheduler);
+        let cdf = out.completion_cdf();
+        for &(t, frac) in &cdf {
+            csv.row(vec![
+                out.scheduler.clone(),
+                format!("{:.4}", t / 3600.0),
+                format!("{frac:.5}"),
+            ]);
+        }
+        cdf_series.push((
+            out.scheduler.clone(),
+            cdf.into_iter().map(|(t, f)| (t / 3600.0, f)).collect(),
+        ));
+        let m = out.metrics();
+        if kind == SchedulerKind::Hadar {
+            hadar_mean = m.mean;
+            hadar_median = m.median;
+        }
+        summary.push_str(&format!(
+            "  {:<9} mean JCT {:>8.2} h ({}), median {:>8.2} h ({})\n",
+            out.scheduler,
+            m.mean / 3600.0,
+            ratio(hadar_mean, m.mean),
+            m.median / 3600.0,
+            ratio(hadar_median, m.median),
+        ));
+    }
+
+    let series: Vec<(&str, &[(f64, f64)])> = cdf_series
+        .iter()
+        .map(|(n, s)| (n.as_str(), s.as_slice()))
+        .collect();
+    summary.push_str("\n  fraction completed vs time (hours):\n");
+    for line in line_chart(&series, 64, 12).lines() {
+        summary.push_str("  ");
+        summary.push_str(line);
+        summary.push('\n');
+    }
+
+    let path = results_dir().join(format!("fig3_{}.csv", panel.label()));
+    csv.write_to(&path).expect("write fig3 csv");
+    FigureResult::new(
+        &format!("fig3_{}", panel.label()),
+        summary,
+        vec![path],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_static_panel_runs() {
+        let r = run(Panel::Static, true);
+        assert!(r.summary.contains("Hadar"));
+        assert!(r.csv_paths[0].exists());
+        let csv = std::fs::read_to_string(&r.csv_paths[0]).unwrap();
+        assert!(csv.lines().count() > 4 * 10, "CDF series too short");
+        assert!(csv.contains("YARN-CS"));
+    }
+}

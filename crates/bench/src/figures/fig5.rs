@@ -1,0 +1,93 @@
+//! Fig. 5: finish-time fairness (FTF) comparison among Gavel, Tiresias, and
+//! Hadar. Lower ρ = fairer/faster than the 1/n-share baseline.
+
+use hadar_metrics::{bar_chart, CsvWriter};
+use hadar_workload::ArrivalPattern;
+
+use crate::experiments::{run_scenario, SchedulerKind};
+use crate::figures::{results_dir, FigureResult};
+use crate::scenarios::paper_sim_scenario;
+
+/// The schedulers of Fig. 5 (YARN-CS is excluded, as in the paper).
+const SCHEDULERS: [SchedulerKind; 3] = [
+    SchedulerKind::Hadar,
+    SchedulerKind::Gavel,
+    SchedulerKind::Tiresias,
+];
+
+/// Regenerate Fig. 5.
+pub fn run(quick: bool) -> FigureResult {
+    let num_jobs = if quick { 40 } else { 480 };
+    let seed = 42;
+
+    let mut csv = CsvWriter::new(&["scheduler", "mean_ftf", "median_ftf", "p95_ftf", "max_ftf"]);
+    let mut dist = CsvWriter::new(&["scheduler", "job_id", "ftf"]);
+    let mut summary = format!("Fig. 5: finish-time fairness, {num_jobs} static jobs\n");
+    let mut hadar_mean = 0.0;
+
+    for kind in SCHEDULERS {
+        let s = paper_sim_scenario(num_jobs, seed, ArrivalPattern::Static);
+        let out = run_scenario(s.cluster, s.jobs, s.config, kind);
+        let stats = out.ftf();
+        if kind == SchedulerKind::Hadar {
+            hadar_mean = stats.mean;
+        }
+        csv.row(vec![
+            out.scheduler.clone(),
+            format!("{:.4}", stats.mean),
+            format!("{:.4}", stats.median),
+            format!("{:.4}", stats.p95),
+            format!("{:.4}", stats.max),
+        ]);
+        for (i, v) in out.ftf_values().iter().enumerate() {
+            dist.row(vec![out.scheduler.clone(), i.to_string(), format!("{v:.5}")]);
+        }
+        let vs = if hadar_mean > 0.0 && kind != SchedulerKind::Hadar {
+            format!(" ({:.2}x Hadar)", stats.mean / hadar_mean)
+        } else {
+            String::new()
+        };
+        summary.push_str(&format!(
+            "  {:<9} mean ρ {:.3}{vs} | median {:.3} | p95 {:.3}\n",
+            out.scheduler, stats.mean, stats.median, stats.p95
+        ));
+    }
+
+    let bars: Vec<(String, f64)> = csv
+        .as_str()
+        .lines()
+        .skip(1)
+        .map(|l| {
+            let mut it = l.split(',');
+            let name = it.next().expect("name").to_owned();
+            let v: f64 = it.next().expect("mean").parse().expect("number");
+            (name, v)
+        })
+        .collect();
+    let bar_refs: Vec<(&str, f64)> = bars.iter().map(|(n, v)| (n.as_str(), *v)).collect();
+    summary.push_str("\n  mean FTF rho (lower = fairer):\n");
+    for line in bar_chart(&bar_refs, 40).lines() {
+        summary.push_str("  ");
+        summary.push_str(line);
+        summary.push('\n');
+    }
+
+    let path = results_dir().join("fig5_ftf.csv");
+    let dist_path = results_dir().join("fig5_ftf_distribution.csv");
+    csv.write_to(&path).expect("write fig5 csv");
+    dist.write_to(&dist_path).expect("write fig5 distribution csv");
+    FigureResult::new("fig5", summary, vec![path, dist_path])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_excludes_yarn() {
+        let r = run(true);
+        let csv = std::fs::read_to_string(&r.csv_paths[0]).unwrap();
+        assert!(!csv.contains("YARN"));
+        assert_eq!(csv.lines().count(), 4);
+    }
+}

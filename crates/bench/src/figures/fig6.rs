@@ -1,0 +1,81 @@
+//! Fig. 6: makespan comparison among Gavel, Tiresias, and Hadar, with Hadar
+//! "flexibly specifying its scheduling policy towards makespan
+//! minimization" (the [`hadar_core::MinMakespan`] utility).
+
+use hadar_metrics::{bar_chart, CsvWriter};
+use hadar_workload::ArrivalPattern;
+
+use crate::experiments::{run_scenario, SchedulerKind};
+use crate::figures::{results_dir, FigureResult};
+use crate::scenarios::paper_sim_scenario;
+
+/// Regenerate Fig. 6.
+pub fn run(quick: bool) -> FigureResult {
+    let num_jobs = if quick { 40 } else { 480 };
+    let seed = 42;
+
+    let schedulers = [
+        SchedulerKind::HadarMakespan,
+        SchedulerKind::Gavel,
+        SchedulerKind::Tiresias,
+    ];
+    let mut csv = CsvWriter::new(&["scheduler", "makespan_hours"]);
+    let mut summary = format!("Fig. 6: makespan, {num_jobs} static jobs\n");
+    let mut hadar_makespan = 0.0;
+
+    for kind in schedulers {
+        let s = paper_sim_scenario(num_jobs, seed, ArrivalPattern::Static);
+        let out = run_scenario(s.cluster, s.jobs, s.config, kind);
+        let makespan = out.makespan();
+        if kind == SchedulerKind::HadarMakespan {
+            hadar_makespan = makespan;
+        }
+        csv.row(vec![out.scheduler.clone(), format!("{:.3}", makespan / 3600.0)]);
+        let vs = if hadar_makespan > 0.0 && kind != SchedulerKind::HadarMakespan {
+            format!(" ({:.2}x Hadar)", makespan / hadar_makespan)
+        } else {
+            String::new()
+        };
+        summary.push_str(&format!(
+            "  {:<16} makespan {:>8.2} h{vs}\n",
+            out.scheduler,
+            makespan / 3600.0
+        ));
+    }
+
+    let bars: Vec<(String, f64)> = csv
+        .as_str()
+        .lines()
+        .skip(1)
+        .map(|l| {
+            let mut it = l.split(',');
+            let name = it.next().expect("name").to_owned();
+            let v: f64 = it.next().expect("makespan").parse().expect("number");
+            (name, v)
+        })
+        .collect();
+    let bar_refs: Vec<(&str, f64)> = bars.iter().map(|(n, v)| (n.as_str(), *v)).collect();
+    summary.push_str("\n  makespan (hours):\n");
+    for line in bar_chart(&bar_refs, 40).lines() {
+        summary.push_str("  ");
+        summary.push_str(line);
+        summary.push('\n');
+    }
+
+    let path = results_dir().join("fig6_makespan.csv");
+    csv.write_to(&path).expect("write fig6 csv");
+    FigureResult::new("fig6", summary, vec![path])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_uses_makespan_objective() {
+        let r = run(true);
+        assert!(r.summary.contains("Hadar (makespan)"));
+        let csv = std::fs::read_to_string(&r.csv_paths[0]).unwrap();
+        assert_eq!(csv.lines().count(), 4);
+    }
+}

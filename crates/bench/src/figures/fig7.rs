@@ -1,0 +1,107 @@
+//! Fig. 7: scheduler decision time ("scaling of our algorithm compared to
+//! Gavel") as the number of active jobs grows from 32 to 2048, with the
+//! cluster scaled alongside the workload.
+//!
+//! Each point measures the wall-clock time of a single scheduling round
+//! over a fully queued cluster — for Hadar, the dual subroutine; for Gavel,
+//! the exact policy LP plus the round-based priority mechanism.
+
+use hadar_baselines::{GavelConfig, GavelScheduler};
+use hadar_cluster::Cluster;
+use hadar_core::{HadarConfig, HadarScheduler};
+use hadar_metrics::CsvWriter;
+use hadar_sim::{SimConfig, Simulation};
+use hadar_workload::{generate_trace, ArrivalPattern, TraceConfig};
+
+use crate::figures::{results_dir, FigureResult};
+
+/// Cluster used for `n` jobs: grows linearly with the workload
+/// (3 GPU types × `n/32` nodes × 4 GPUs ⇒ `3n/8` GPUs).
+pub fn scaled_cluster(num_jobs: usize) -> Cluster {
+    Cluster::scaled((num_jobs / 32).max(1))
+}
+
+/// Measure one scheduling decision for both schedulers at `num_jobs`.
+/// Returns `(hadar_seconds, gavel_seconds)`.
+pub fn measure(num_jobs: usize, seed: u64) -> (f64, f64) {
+    let decision = |kind: Kind| -> f64 {
+        let cluster = scaled_cluster(num_jobs);
+        let jobs = generate_trace(
+            &TraceConfig {
+                num_jobs,
+                seed,
+                pattern: ArrivalPattern::Static,
+            },
+            cluster.catalog(),
+        );
+        let config = SimConfig {
+            max_rounds: 1,
+            ..SimConfig::default()
+        };
+        let sim = Simulation::new(cluster, jobs, config);
+        let out = match kind {
+            Kind::Hadar => sim.run(HadarScheduler::new(HadarConfig::default())),
+            Kind::Gavel => sim.run(GavelScheduler::new(GavelConfig {
+                // Fig. 7 measures Gavel's exact LP, never the greedy
+                // fallback.
+                exact_lp_max_jobs: usize::MAX,
+                ..GavelConfig::default()
+            })),
+        };
+        out.rounds[0].decision_seconds
+    };
+    (decision(Kind::Hadar), decision(Kind::Gavel))
+}
+
+enum Kind {
+    Hadar,
+    Gavel,
+}
+
+/// Regenerate Fig. 7.
+pub fn run(quick: bool) -> FigureResult {
+    let sizes: &[usize] = if quick {
+        &[32, 64]
+    } else {
+        &[32, 64, 128, 256, 512, 1024, 2048]
+    };
+    let mut csv = CsvWriter::new(&["jobs", "cluster_gpus", "hadar_seconds", "gavel_seconds"]);
+    let mut summary = String::from("Fig. 7: scheduling-decision wall time vs active jobs\n");
+    for &n in sizes {
+        let gpus = scaled_cluster(n).total_gpus();
+        let (hadar, gavel) = measure(n, 7);
+        csv.row(vec![
+            n.to_string(),
+            gpus.to_string(),
+            format!("{hadar:.6}"),
+            format!("{gavel:.6}"),
+        ]);
+        summary.push_str(&format!(
+            "  {n:>5} jobs / {gpus:>4} GPUs: Hadar {:>9.2} ms | Gavel {:>9.2} ms\n",
+            hadar * 1e3,
+            gavel * 1e3
+        ));
+    }
+    let path = results_dir().join("fig7_scalability.csv");
+    csv.write_to(&path).expect("write fig7 csv");
+    FigureResult::new("fig7", summary, vec![path])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cluster_scales_with_jobs() {
+        assert_eq!(scaled_cluster(32).total_gpus(), 12);
+        assert_eq!(scaled_cluster(2048).total_gpus(), 768);
+        assert_eq!(scaled_cluster(8).total_gpus(), 12); // floor at scale 1
+    }
+
+    #[test]
+    fn quick_run_measures_two_sizes() {
+        let r = run(true);
+        let csv = std::fs::read_to_string(&r.csv_paths[0]).unwrap();
+        assert_eq!(csv.lines().count(), 3);
+    }
+}

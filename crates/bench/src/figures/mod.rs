@@ -1,0 +1,62 @@
+//! One module per table/figure of the paper's evaluation section.
+//!
+//! Every experiment writes its data series as CSV under [`results_dir`] and
+//! returns a [`FigureResult`] with a human-readable summary (the numbers
+//! recorded in EXPERIMENTS.md). Experiments accept a `quick` flag used by
+//! integration tests: it shrinks job counts and seed counts but exercises
+//! identical code paths.
+
+pub mod ablation;
+pub mod extensions;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod stragglers;
+pub mod table2;
+pub mod table3;
+pub mod table4;
+
+use std::path::PathBuf;
+
+pub use crate::experiments::results_dir;
+
+/// The outcome of regenerating one figure or table.
+#[derive(Debug, Clone)]
+pub struct FigureResult {
+    /// Identifier ("fig3", "table4", …).
+    pub name: String,
+    /// Human-readable summary block (also printed by the binaries).
+    pub summary: String,
+    /// CSV files written.
+    pub csv_paths: Vec<PathBuf>,
+}
+
+impl FigureResult {
+    pub(crate) fn new(name: &str, summary: String, csv_paths: Vec<PathBuf>) -> Self {
+        Self {
+            name: name.to_owned(),
+            summary,
+            csv_paths,
+        }
+    }
+}
+
+/// Number of worker threads for simulation sweeps.
+pub(crate) fn sweep_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(16)
+}
+
+/// Format a ratio against Hadar ("2.41x").
+pub(crate) fn ratio(ours: f64, theirs: f64) -> String {
+    if ours <= 0.0 {
+        return "n/a".to_owned();
+    }
+    format!("{:.2}x", theirs / ours)
+}

@@ -1,0 +1,103 @@
+//! Table III: JCT and makespan for Hadar / Gavel / Tiresias on the 8-GPU
+//! AWS prototype workload, in "physical" and "simulated" configurations.
+//!
+//! Substitution note (DESIGN.md §6): we have no AWS testbed, so the
+//! "physical cluster" row is reproduced with the *calibrated* cost models —
+//! per-model checkpoint save/load/re-init times (Table IV's model) and the
+//! cross-server communication penalty — while the "simulated cluster" row
+//! uses the paper's own simulator settings (flat 10-second reallocation
+//! delay). The paper validates its simulator against the testbed within
+//! 10 %; we reproduce that claim as the gap between these two rows.
+
+use hadar_metrics::{CsvWriter, Table};
+use hadar_sim::{CheckpointModel, PreemptionPenalty};
+
+use crate::experiments::{run_scenario, SchedulerKind};
+use crate::figures::{results_dir, FigureResult};
+use crate::scenarios::aws_prototype_scenario;
+
+const SCHEDULERS: [SchedulerKind; 3] = [
+    SchedulerKind::Hadar,
+    SchedulerKind::Gavel,
+    SchedulerKind::Tiresias,
+];
+
+/// Regenerate Table III.
+pub fn run(_quick: bool) -> FigureResult {
+    let mut table = Table::new(vec!["Cluster", "Metric", "Hadar", "Gavel", "Tiresias"]);
+    let mut csv = CsvWriter::new(&[
+        "cluster",
+        "scheduler",
+        "mean_jct_hours",
+        "makespan_hours",
+    ]);
+
+    let mut rows: Vec<(String, Vec<(String, f64, f64)>)> = Vec::new();
+    for physical in [true, false] {
+        let label = if physical {
+            "Physical (modeled)"
+        } else {
+            "Simulated"
+        };
+        let mut cells = Vec::new();
+        for kind in SCHEDULERS {
+            let mut s = aws_prototype_scenario(0);
+            if physical {
+                s.config.penalty = PreemptionPenalty::Modeled(CheckpointModel::default());
+            }
+            let out = run_scenario(s.cluster, s.jobs, s.config, kind);
+            assert_eq!(out.completed_jobs(), 10, "{}", out.scheduler);
+            let jct = out.mean_jct() / 3600.0;
+            let makespan = out.makespan() / 3600.0;
+            csv.row(vec![
+                label.to_owned(),
+                out.scheduler.clone(),
+                format!("{jct:.3}"),
+                format!("{makespan:.3}"),
+            ]);
+            cells.push((out.scheduler.clone(), jct, makespan));
+        }
+        rows.push((label.to_owned(), cells));
+    }
+
+    for (label, cells) in &rows {
+        table.row(vec![
+            label.clone(),
+            "JCT (h)".to_owned(),
+            format!("{:.2}", cells[0].1),
+            format!("{:.2}", cells[1].1),
+            format!("{:.2}", cells[2].1),
+        ]);
+        table.row(vec![
+            label.clone(),
+            "Makespan (h)".to_owned(),
+            format!("{:.2}", cells[0].2),
+            format!("{:.2}", cells[1].2),
+            format!("{:.2}", cells[2].2),
+        ]);
+    }
+    // The paper's simulator-vs-testbed agreement claim: JCT within 10 %.
+    let gap = (rows[0].1[0].1 - rows[1].1[0].1).abs() / rows[1].1[0].1.max(1e-9) * 100.0;
+    let summary = format!(
+        "Table III: AWS prototype workload (10 jobs, 8 GPUs)\n{}\nHadar JCT gap physical-vs-simulated: {gap:.1}%\n",
+        table.render()
+    );
+
+    let path = results_dir().join("table3_prototype.csv");
+    csv.write_to(&path).expect("write table3 csv");
+    FigureResult::new("table3", summary, vec![path])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn produces_both_cluster_rows() {
+        let r = run(true);
+        assert!(r.summary.contains("Physical (modeled)"));
+        assert!(r.summary.contains("Simulated"));
+        let csv = std::fs::read_to_string(&r.csv_paths[0]).unwrap();
+        assert_eq!(csv.lines().count(), 7); // header + 2 clusters × 3 schedulers
+    }
+}

@@ -1,0 +1,18 @@
+#![warn(missing_docs)]
+
+//! # hadar-bench
+//!
+//! The experiment harness: everything needed to regenerate every table and
+//! figure of the paper's evaluation section (see DESIGN.md §7 for the
+//! experiment index and EXPERIMENTS.md for paper-vs-measured results).
+//!
+//! Each figure/table has a dedicated binary (`cargo run --release -p
+//! hadar-bench --bin fig3`, …); `--bin all_experiments` runs the whole
+//! suite and writes CSV series under `results/`.
+
+pub mod experiments;
+pub mod figures;
+pub mod scenarios;
+
+pub use experiments::{run_scenario, SchedulerKind};
+pub use scenarios::{paper_sim_scenario, Scenario};

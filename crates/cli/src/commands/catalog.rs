@@ -1,0 +1,43 @@
+//! `hadar-cli catalog`: print the Table II workload catalog.
+
+use hadar_metrics::Table;
+use hadar_workload::DlTask;
+
+/// Render the catalog.
+pub fn run() -> String {
+    let mut table = Table::new(vec![
+        "Task",
+        "Model",
+        "Dataset",
+        "Size",
+        "V100 it/s",
+        "P100 it/s",
+        "K80 it/s",
+        "Ckpt (MiB)",
+    ]);
+    for t in DlTask::ALL {
+        let x = |g: &str| t.throughput_on(g).expect("known type");
+        table.row(vec![
+            t.task_name().to_owned(),
+            t.model_name().to_owned(),
+            t.dataset().to_owned(),
+            t.size_class().label().to_owned(),
+            format!("{}", x("V100")),
+            format!("{}", x("P100")),
+            format!("{}", x("K80")),
+            format!("{}", t.checkpoint_mib()),
+        ]);
+    }
+    table.render()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn lists_models() {
+        let out = super::run();
+        assert!(out.contains("ResNet-50"));
+        assert!(out.contains("CycleGAN"));
+        assert!(out.contains("Wikitext-2"));
+    }
+}

@@ -1,0 +1,77 @@
+//! `hadar-cli compare`: all four schedulers on one workload.
+
+use hadar_metrics::Table;
+use hadar_sim::{SimConfig, Simulation};
+use hadar_workload::{generate_trace, ArrivalPattern, TraceConfig};
+
+use crate::args::{parse_cluster, parse_pattern, Options};
+use crate::commands::scheduler_by_name;
+
+/// Run the comparison; returns the rendered table.
+pub fn run(opts: &Options) -> Result<String, String> {
+    let num_jobs: usize = opts.get_parsed("jobs", 48)?;
+    if num_jobs == 0 {
+        return Err("--jobs must be ≥ 1".into());
+    }
+    let seed: u64 = opts.get_parsed("seed", 0)?;
+    let pattern = match opts.get("pattern") {
+        Some(p) => parse_pattern(p)?,
+        None => ArrivalPattern::Static,
+    };
+    let cluster = parse_cluster(opts.get("cluster").unwrap_or("paper"))?;
+    let jobs = generate_trace(
+        &TraceConfig {
+            num_jobs,
+            seed,
+            pattern,
+        },
+        cluster.catalog(),
+    );
+
+    let mut table = Table::new(vec![
+        "Scheduler",
+        "Mean JCT (h)",
+        "Median JCT (h)",
+        "Makespan (h)",
+        "Util (%)",
+        "Mean FTF",
+        "Queue (h)",
+    ]);
+    for name in ["hadar", "gavel", "tiresias", "yarn"] {
+        let scheduler = scheduler_by_name(name)?;
+        let out = Simulation::new(cluster.clone(), jobs.clone(), SimConfig::default())
+            .run(scheduler);
+        let m = out.metrics();
+        table.row(vec![
+            out.scheduler.clone(),
+            format!("{:.2}", m.mean / 3600.0),
+            format!("{:.2}", m.median / 3600.0),
+            format!("{:.2}", out.makespan() / 3600.0),
+            format!("{:.1}", out.demand_weighted_utilization() * 100.0),
+            format!("{:.3}", out.ftf().mean),
+            format!("{:.2}", out.queuing_delays().mean / 3600.0),
+        ]);
+    }
+    Ok(format!(
+        "{num_jobs} jobs, seed {seed}, {pattern:?}, {} GPUs\n\n{}",
+        cluster.total_gpus(),
+        table.render()
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compares_all_four() {
+        let opts = Options::parse(
+            ["--jobs", "6", "--seed", "4"].iter().map(|s| s.to_string()),
+        )
+        .unwrap();
+        let out = run(&opts).unwrap();
+        for name in ["Hadar", "Gavel", "Tiresias", "YARN-CS"] {
+            assert!(out.contains(name), "{name} missing:\n{out}");
+        }
+    }
+}

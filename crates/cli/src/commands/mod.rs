@@ -1,0 +1,61 @@
+//! CLI subcommands. Each returns the text to print (so the logic is unit
+//! testable without capturing stdout).
+
+pub mod catalog;
+pub mod compare;
+pub mod gen_trace;
+pub mod simulate;
+
+use hadar_baselines::{GavelScheduler, SrtfScheduler, TiresiasScheduler, YarnCsScheduler};
+use hadar_core::{HadarConfig, HadarScheduler};
+use hadar_sim::Scheduler;
+
+/// Build a scheduler by CLI name.
+pub fn scheduler_by_name(name: &str) -> Result<Box<dyn Scheduler>, String> {
+    match name {
+        "hadar" => Ok(Box::new(HadarScheduler::new(HadarConfig::default()))),
+        "gavel" => Ok(Box::new(GavelScheduler::paper_default())),
+        "tiresias" => Ok(Box::new(TiresiasScheduler::paper_default())),
+        "yarn" | "yarn-cs" => Ok(Box::new(YarnCsScheduler::new())),
+        "srtf" => Ok(Box::new(SrtfScheduler::new())),
+        other => Err(format!(
+            "unknown scheduler {other:?} (expected hadar|gavel|tiresias|yarn)"
+        )),
+    }
+}
+
+/// The shared usage text.
+pub const USAGE: &str = "\
+hadar-cli — heterogeneity-aware DL cluster scheduling (Hadar, IPDPS 2024)
+
+USAGE:
+  hadar-cli catalog
+      Print the Table II workload catalog.
+
+  hadar-cli gen-trace [--jobs N] [--seed S] [--pattern static|poisson:RATE]
+                      [--cluster paper|aws|toy|scaled:N] [--out FILE]
+      Generate a synthetic Philly-style trace (CSV to stdout or FILE).
+
+  hadar-cli simulate --scheduler hadar|gavel|tiresias|yarn|srtf
+                     [--trace FILE | --jobs N --seed S --pattern P]
+                     [--cluster paper|aws|toy|scaled:N] [--round-min M]
+                     [--penalty none|fixed:SECS|modeled]
+                     [--straggler INC,SLOW,ROUNDS,SEED] [--csv FILE]
+      Run one simulation and print the metric report.
+
+  hadar-cli compare [--jobs N] [--seed S] [--pattern P] [--cluster C]
+      Run all four schedulers on the same workload and print a table.
+";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scheduler_names_resolve() {
+        for n in ["hadar", "gavel", "tiresias", "yarn", "yarn-cs", "srtf"] {
+            assert!(scheduler_by_name(n).is_ok(), "{n}");
+        }
+        assert!(scheduler_by_name("slurm").is_err());
+    }
+}

@@ -1,0 +1,202 @@
+//! `hadar-cli simulate`.
+
+use hadar_sim::{SimConfig, SimOutcome, Simulation};
+use hadar_workload::{generate_trace, load_trace_csv, ArrivalPattern, TraceConfig};
+
+use crate::args::{parse_cluster, parse_pattern, parse_penalty, parse_straggler, Options};
+use crate::commands::scheduler_by_name;
+
+/// Run one simulation. Returns `(report, per_job_csv)`.
+pub fn run(opts: &Options) -> Result<(String, String), String> {
+    let scheduler_name = opts
+        .get("scheduler")
+        .ok_or("--scheduler is required (hadar|gavel|tiresias|yarn)")?;
+    let scheduler = scheduler_by_name(scheduler_name)?;
+    let cluster = parse_cluster(opts.get("cluster").unwrap_or("paper"))?;
+
+    // Workload: either a trace file or generated on the fly.
+    let jobs = if let Some(path) = opts.get("trace") {
+        let csv = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read trace {path:?}: {e}"))?;
+        load_trace_csv(&csv, cluster.catalog())?
+    } else {
+        let num_jobs: usize = opts.get_parsed("jobs", 48)?;
+        if num_jobs == 0 {
+            return Err("--jobs must be ≥ 1".into());
+        }
+        let seed: u64 = opts.get_parsed("seed", 0)?;
+        let pattern = match opts.get("pattern") {
+            Some(p) => parse_pattern(p)?,
+            None => ArrivalPattern::Static,
+        };
+        generate_trace(
+            &TraceConfig {
+                num_jobs,
+                seed,
+                pattern,
+            },
+            cluster.catalog(),
+        )
+    };
+
+    let round_min: f64 = opts.get_parsed("round-min", 6.0)?;
+    if round_min <= 0.0 {
+        return Err("--round-min must be positive".into());
+    }
+    let mut config = SimConfig {
+        round_length: round_min * 60.0,
+        ..SimConfig::default()
+    };
+    if let Some(p) = opts.get("penalty") {
+        config.penalty = parse_penalty(p)?;
+    }
+    if let Some(s) = opts.get("straggler") {
+        config.straggler = Some(parse_straggler(s)?);
+    }
+
+    let n = jobs.len();
+    let outcome = Simulation::new(cluster, jobs, config).run(scheduler);
+    Ok((render_report(&outcome, n), per_job_csv(&outcome)))
+}
+
+fn render_report(out: &SimOutcome, submitted: usize) -> String {
+    let m = out.metrics();
+    let q = out.queuing_delays();
+    format!(
+        "scheduler            : {}\n\
+         jobs completed       : {}/{submitted}{}\n\
+         mean JCT             : {:.2} h\n\
+         median JCT           : {:.2} h\n\
+         p95 JCT              : {:.2} h\n\
+         makespan             : {:.2} h\n\
+         GPU utilization      : {:.1} % (demand-weighted), {:.1} % (held-time)\n\
+         finish-time fairness : {:.3} (mean rho)\n\
+         queuing delay        : {:.2} h mean, {:.2} h max\n\
+         reallocation rate    : {:.1} % of job-rounds\n\
+         scheduler decisions  : {:.3} ms mean wall time",
+        out.scheduler,
+        out.completed_jobs(),
+        if out.timed_out { " (TIMED OUT)" } else { "" },
+        m.mean / 3600.0,
+        m.median / 3600.0,
+        m.p95 / 3600.0,
+        out.makespan() / 3600.0,
+        out.demand_weighted_utilization() * 100.0,
+        out.held_utilization() * 100.0,
+        out.ftf().mean,
+        q.mean / 3600.0,
+        q.max / 3600.0,
+        out.reallocation_rate() * 100.0,
+        out.mean_decision_seconds() * 1e3,
+    )
+}
+
+fn per_job_csv(out: &SimOutcome) -> String {
+    let mut w = hadar_metrics::CsvWriter::new(&[
+        "job_id",
+        "model",
+        "gang",
+        "arrival_s",
+        "first_scheduled_s",
+        "finish_s",
+        "jct_s",
+        "queuing_delay_s",
+        "reallocations",
+    ]);
+    for r in &out.records {
+        w.row(vec![
+            r.job.id.0.to_string(),
+            r.job.model.model_name().to_owned(),
+            r.job.gang.to_string(),
+            format!("{:.1}", r.job.arrival),
+            r.first_scheduled.map_or("-".into(), |t| format!("{t:.1}")),
+            r.finish.map_or("-".into(), |t| format!("{t:.1}")),
+            r.jct().map_or("-".into(), |t| format!("{t:.1}")),
+            r.queuing_delay().map_or("-".into(), |t| format!("{t:.1}")),
+            r.reallocations.to_string(),
+        ]);
+    }
+    w.as_str().to_owned()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn opts(args: &[&str]) -> Options {
+        Options::parse(args.iter().map(|s| s.to_string())).unwrap()
+    }
+
+    #[test]
+    fn simulate_requires_scheduler() {
+        assert!(run(&opts(&["--jobs", "4"])).is_err());
+    }
+
+    #[test]
+    fn simulate_small_run() {
+        let (report, csv) = run(&opts(&[
+            "--scheduler", "hadar", "--jobs", "6", "--seed", "2",
+        ]))
+        .unwrap();
+        assert!(report.contains("jobs completed       : 6/6"));
+        assert!(report.contains("Hadar"));
+        assert_eq!(csv.lines().count(), 7);
+    }
+
+    #[test]
+    fn simulate_with_all_options() {
+        let (report, _) = run(&opts(&[
+            "--scheduler",
+            "tiresias",
+            "--jobs",
+            "4",
+            "--seed",
+            "1",
+            "--pattern",
+            "poisson:90",
+            "--cluster",
+            "scaled:2",
+            "--round-min",
+            "12",
+            "--penalty",
+            "modeled",
+            "--straggler",
+            "0.05,0.5,3,7",
+        ]))
+        .unwrap();
+        assert!(report.contains("Tiresias"));
+        assert!(report.contains("4/4"));
+    }
+
+    #[test]
+    fn simulate_from_trace_file() {
+        let dir = std::env::temp_dir().join("hadar-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.csv");
+        let (_, csv) = crate::commands::gen_trace::run(&opts(&["--jobs", "5", "--seed", "9"]))
+            .unwrap();
+        std::fs::write(&path, csv).unwrap();
+        let (report, _) = run(&opts(&[
+            "--scheduler",
+            "gavel",
+            "--trace",
+            path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(report.contains("5/5"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn bad_round_length_rejected() {
+        assert!(run(&opts(&[
+            "--scheduler",
+            "hadar",
+            "--jobs",
+            "2",
+            "--round-min",
+            "0"
+        ]))
+        .is_err());
+    }
+}

@@ -1,0 +1,61 @@
+//! `hadar-cli`: command-line front end for the Hadar scheduler workspace.
+//!
+//! See `hadar-cli --help` (or [`commands::USAGE`]) for subcommands.
+
+mod args;
+mod commands;
+
+use args::Options;
+
+fn main() {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    if raw.is_empty() || raw.iter().any(|a| a == "--help" || a == "-h") {
+        print!("{}", commands::USAGE);
+        return;
+    }
+    let opts = match Options::parse(raw) {
+        Ok(o) => o,
+        Err(e) => fail(&e),
+    };
+    let command = opts.positional().first().map(String::as_str).unwrap_or("");
+    match command {
+        "catalog" => print!("{}", commands::catalog::run()),
+        "gen-trace" => match commands::gen_trace::run(&opts) {
+            Ok((report, csv)) => {
+                eprintln!("{report}");
+                match opts.get("out") {
+                    Some(path) => {
+                        if let Err(e) = std::fs::write(path, csv) {
+                            fail(&format!("cannot write {path:?}: {e}"));
+                        }
+                        eprintln!("wrote {path}");
+                    }
+                    None => print!("{csv}"),
+                }
+            }
+            Err(e) => fail(&e),
+        },
+        "simulate" => match commands::simulate::run(&opts) {
+            Ok((report, csv)) => {
+                println!("{report}");
+                if let Some(path) = opts.get("csv") {
+                    if let Err(e) = std::fs::write(path, csv) {
+                        fail(&format!("cannot write {path:?}: {e}"));
+                    }
+                    println!("per-job CSV written to {path}");
+                }
+            }
+            Err(e) => fail(&e),
+        },
+        "compare" => match commands::compare::run(&opts) {
+            Ok(out) => println!("{out}"),
+            Err(e) => fail(&e),
+        },
+        other => fail(&format!("unknown command {other:?}\n\n{}", commands::USAGE)),
+    }
+}
+
+fn fail(message: &str) -> ! {
+    eprintln!("error: {message}");
+    std::process::exit(2);
+}

@@ -1,0 +1,412 @@
+//! Scheduling decisions: `w_{jh}^r(t)` — which GPUs each job holds in a round.
+
+use std::collections::BTreeMap;
+
+use crate::catalog::GpuTypeId;
+use crate::cluster::Cluster;
+use crate::machine::MachineId;
+use crate::usage::Usage;
+use crate::JobId;
+
+/// One slice of a job's placement: `count` GPUs of one type on one machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PlacementSlice {
+    /// Host machine.
+    pub machine: MachineId,
+    /// Accelerator type.
+    pub gpu: GpuTypeId,
+    /// Number of GPUs, `w_{jh}^r(t) > 0`.
+    pub count: u32,
+}
+
+/// The complete placement of one job in one round: the set of
+/// `(machine, type, count)` slices summing to the gang size `W_j`.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct JobPlacement {
+    slices: Vec<PlacementSlice>,
+}
+
+impl JobPlacement {
+    /// An empty placement (job not scheduled this round).
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// Build from slices; zero-count slices are dropped, and slices sharing
+    /// `(machine, type)` are merged so equality is structural.
+    pub fn from_slices(slices: impl IntoIterator<Item = PlacementSlice>) -> Self {
+        let mut merged: BTreeMap<(MachineId, GpuTypeId), u32> = BTreeMap::new();
+        for s in slices {
+            if s.count > 0 {
+                *merged.entry((s.machine, s.gpu)).or_default() += s.count;
+            }
+        }
+        Self {
+            slices: merged
+                .into_iter()
+                .map(|((machine, gpu), count)| PlacementSlice {
+                    machine,
+                    gpu,
+                    count,
+                })
+                .collect(),
+        }
+    }
+
+    /// Convenience: a placement of `count` GPUs of one type on one machine.
+    pub fn single(machine: MachineId, gpu: GpuTypeId, count: u32) -> Self {
+        Self::from_slices([PlacementSlice {
+            machine,
+            gpu,
+            count,
+        }])
+    }
+
+    /// The placement slices in canonical `(machine, type)` order.
+    pub fn slices(&self) -> &[PlacementSlice] {
+        &self.slices
+    }
+
+    /// Total worker count, Σ `w_{jh}^r`.
+    pub fn total_workers(&self) -> u32 {
+        self.slices.iter().map(|s| s.count).sum()
+    }
+
+    /// Whether the job received no GPUs.
+    pub fn is_empty(&self) -> bool {
+        self.slices.is_empty()
+    }
+
+    /// Number of distinct machines spanned (1 ⇒ consolidated).
+    pub fn num_machines(&self) -> usize {
+        let mut ms: Vec<MachineId> = self.slices.iter().map(|s| s.machine).collect();
+        ms.dedup(); // slices are sorted by (machine, type)
+        ms.len()
+    }
+
+    /// Whether all workers sit on a single machine.
+    pub fn is_consolidated(&self) -> bool {
+        self.num_machines() <= 1
+    }
+
+    /// Distinct GPU types used, in ascending id order.
+    pub fn gpu_types(&self) -> Vec<GpuTypeId> {
+        let mut ts: Vec<GpuTypeId> = self.slices.iter().map(|s| s.gpu).collect();
+        ts.sort_unstable();
+        ts.dedup();
+        ts
+    }
+
+    /// The bottleneck throughput `x_j(t) = min{X_j^r | w_{jh}^r > 0}`
+    /// (Eq. 1b): the slowest per-task rate across the types this placement
+    /// touches. `rate_of` maps a type to the job's `X_j^r`.
+    ///
+    /// Returns `None` for an empty placement.
+    pub fn bottleneck_rate(&self, mut rate_of: impl FnMut(GpuTypeId) -> f64) -> Option<f64> {
+        self.gpu_types()
+            .into_iter()
+            .map(|r| rate_of(r))
+            .min_by(|a, b| a.partial_cmp(b).expect("throughput must not be NaN"))
+    }
+
+    /// Like [`JobPlacement::bottleneck_rate`] but with per-slice resolution:
+    /// `rate_of(machine, type)` may differ across machines hosting the same
+    /// type (e.g. a straggling server). The synchronization barrier still
+    /// paces the gang at the slowest task.
+    pub fn bottleneck_rate_per_slice(
+        &self,
+        mut rate_of: impl FnMut(MachineId, GpuTypeId) -> f64,
+    ) -> Option<f64> {
+        self.slices
+            .iter()
+            .map(|s| rate_of(s.machine, s.gpu))
+            .min_by(|a, b| a.partial_cmp(b).expect("throughput must not be NaN"))
+    }
+}
+
+/// The full scheduling decision for one round: a placement per scheduled job.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Allocation {
+    placements: BTreeMap<JobId, JobPlacement>,
+}
+
+impl Allocation {
+    /// An allocation scheduling no jobs.
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// Assign `placement` to `job`. Empty placements are treated as "not
+    /// scheduled" and removed.
+    pub fn set(&mut self, job: JobId, placement: JobPlacement) {
+        if placement.is_empty() {
+            self.placements.remove(&job);
+        } else {
+            self.placements.insert(job, placement);
+        }
+    }
+
+    /// Remove a job's placement.
+    pub fn remove(&mut self, job: JobId) -> Option<JobPlacement> {
+        self.placements.remove(&job)
+    }
+
+    /// The placement of `job`, if scheduled this round.
+    pub fn get(&self, job: JobId) -> Option<&JobPlacement> {
+        self.placements.get(&job)
+    }
+
+    /// Iterate `(job, placement)` in job-id order.
+    pub fn iter(&self) -> impl Iterator<Item = (JobId, &JobPlacement)> {
+        self.placements.iter().map(|(&j, p)| (j, p))
+    }
+
+    /// Number of scheduled jobs.
+    pub fn num_jobs(&self) -> usize {
+        self.placements.len()
+    }
+
+    /// Whether no job is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.placements.is_empty()
+    }
+
+    /// Total GPUs in use across all jobs.
+    pub fn total_gpus_used(&self) -> u32 {
+        self.placements.values().map(|p| p.total_workers()).sum()
+    }
+
+    /// Aggregate into per-machine/type occupied counts `γ_h^r`.
+    pub fn usage(&self, cluster: &Cluster) -> Usage {
+        let mut u = Usage::empty(cluster);
+        for p in self.placements.values() {
+            for s in p.slices() {
+                u.add(s.machine, s.gpu, s.count);
+            }
+        }
+        u
+    }
+
+    /// Validate against the cluster: capacity (constraint 1d) and, for each
+    /// job, the gang-size requirement `Σ w ∈ {0, W_j}` (constraint 1e) using
+    /// `gang_of`.
+    ///
+    /// Returns the first violation found, or `Ok(())`.
+    pub fn validate(
+        &self,
+        cluster: &Cluster,
+        mut gang_of: impl FnMut(JobId) -> u32,
+    ) -> Result<(), AllocationError> {
+        let usage = self.usage(cluster);
+        for h in cluster.machine_ids() {
+            for r in cluster.catalog().ids() {
+                let used = usage.get(h, r);
+                let cap = cluster.capacity(h, r);
+                if used > cap {
+                    return Err(AllocationError::OverCapacity {
+                        machine: h,
+                        gpu: r,
+                        used,
+                        capacity: cap,
+                    });
+                }
+            }
+        }
+        for (&j, p) in &self.placements {
+            let w = p.total_workers();
+            let gang = gang_of(j);
+            if w != gang {
+                return Err(AllocationError::GangViolation {
+                    job: j,
+                    got: w,
+                    want: gang,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A constraint violation detected by [`Allocation::validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AllocationError {
+    /// More GPUs of a type placed on a machine than it has (violates 1d).
+    OverCapacity {
+        /// Machine where the violation occurred.
+        machine: MachineId,
+        /// GPU type over-allocated.
+        gpu: GpuTypeId,
+        /// GPUs placed.
+        used: u32,
+        /// Machine capacity `c_h^r`.
+        capacity: u32,
+    },
+    /// A scheduled job got a worker count different from its gang size
+    /// (violates the All-or-Nothing property, 1e).
+    GangViolation {
+        /// Offending job.
+        job: JobId,
+        /// Workers placed.
+        got: u32,
+        /// Required gang size `W_j`.
+        want: u32,
+    },
+}
+
+impl std::fmt::Display for AllocationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AllocationError::OverCapacity {
+                machine,
+                gpu,
+                used,
+                capacity,
+            } => write!(
+                f,
+                "machine {machine} type {gpu}: {used} GPUs allocated but capacity is {capacity}"
+            ),
+            AllocationError::GangViolation { job, got, want } => {
+                write!(f, "job {job}: scheduled with {got} workers, gang size is {want}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AllocationError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::ClusterBuilder;
+
+    fn toy() -> (Cluster, GpuTypeId, GpuTypeId) {
+        let mut b = ClusterBuilder::new();
+        let a = b.gpu_type("A");
+        let c = b.gpu_type("C");
+        b.machine(&[(a, 2)]);
+        b.machine(&[(a, 1), (c, 2)]);
+        (b.build(), a, c)
+    }
+
+    #[test]
+    fn placement_merges_and_orders_slices() {
+        let p = JobPlacement::from_slices([
+            PlacementSlice {
+                machine: MachineId(1),
+                gpu: GpuTypeId(0),
+                count: 1,
+            },
+            PlacementSlice {
+                machine: MachineId(0),
+                gpu: GpuTypeId(0),
+                count: 2,
+            },
+            PlacementSlice {
+                machine: MachineId(1),
+                gpu: GpuTypeId(0),
+                count: 1,
+            },
+            PlacementSlice {
+                machine: MachineId(1),
+                gpu: GpuTypeId(1),
+                count: 0, // dropped
+            },
+        ]);
+        assert_eq!(p.total_workers(), 4);
+        assert_eq!(p.slices().len(), 2);
+        assert_eq!(p.slices()[0].machine, MachineId(0));
+        assert_eq!(p.slices()[1].count, 2);
+        assert_eq!(p.num_machines(), 2);
+        assert!(!p.is_consolidated());
+    }
+
+    #[test]
+    fn bottleneck_rate_is_min_over_types() {
+        let p = JobPlacement::from_slices([
+            PlacementSlice {
+                machine: MachineId(0),
+                gpu: GpuTypeId(0),
+                count: 2,
+            },
+            PlacementSlice {
+                machine: MachineId(1),
+                gpu: GpuTypeId(1),
+                count: 1,
+            },
+        ]);
+        let rate = p
+            .bottleneck_rate(|r| if r == GpuTypeId(0) { 40.0 } else { 30.0 })
+            .unwrap();
+        assert_eq!(rate, 30.0);
+        assert_eq!(JobPlacement::empty().bottleneck_rate(|_| 1.0), None);
+    }
+
+    #[test]
+    fn empty_placement_is_unscheduled() {
+        let mut a = Allocation::empty();
+        a.set(JobId(0), JobPlacement::empty());
+        assert!(a.is_empty());
+        assert_eq!(a.get(JobId(0)), None);
+    }
+
+    #[test]
+    fn validate_accepts_feasible() {
+        let (cl, a, c) = toy();
+        let mut alloc = Allocation::empty();
+        alloc.set(
+            JobId(0),
+            JobPlacement::from_slices([
+                PlacementSlice {
+                    machine: MachineId(0),
+                    gpu: a,
+                    count: 2,
+                },
+                PlacementSlice {
+                    machine: MachineId(1),
+                    gpu: c,
+                    count: 1,
+                },
+            ]),
+        );
+        assert_eq!(alloc.validate(&cl, |_| 3), Ok(()));
+        assert_eq!(alloc.total_gpus_used(), 3);
+    }
+
+    #[test]
+    fn validate_rejects_over_capacity() {
+        let (cl, a, _) = toy();
+        let mut alloc = Allocation::empty();
+        alloc.set(JobId(0), JobPlacement::single(MachineId(0), a, 3));
+        let err = alloc.validate(&cl, |_| 3).unwrap_err();
+        assert!(matches!(err, AllocationError::OverCapacity { used: 3, capacity: 2, .. }));
+    }
+
+    #[test]
+    fn validate_rejects_gang_violation() {
+        let (cl, a, _) = toy();
+        let mut alloc = Allocation::empty();
+        alloc.set(JobId(5), JobPlacement::single(MachineId(0), a, 2));
+        let err = alloc.validate(&cl, |_| 4).unwrap_err();
+        assert_eq!(
+            err,
+            AllocationError::GangViolation {
+                job: JobId(5),
+                got: 2,
+                want: 4
+            }
+        );
+        assert!(err.to_string().contains("gang size is 4"));
+    }
+
+    #[test]
+    fn usage_aggregates_across_jobs() {
+        let (cl, a, c) = toy();
+        let mut alloc = Allocation::empty();
+        alloc.set(JobId(0), JobPlacement::single(MachineId(1), a, 1));
+        alloc.set(JobId(1), JobPlacement::single(MachineId(1), c, 2));
+        let u = alloc.usage(&cl);
+        assert_eq!(u.get(MachineId(1), a), 1);
+        assert_eq!(u.get(MachineId(1), c), 2);
+        assert_eq!(u.get(MachineId(0), a), 0);
+    }
+}

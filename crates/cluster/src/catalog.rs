@@ -1,0 +1,167 @@
+//! Interned accelerator types.
+//!
+//! The paper evaluates on clusters mixing NVIDIA V100, P100, and K80 GPUs
+//! (simulation, §IV-A) and T4 / GRID K520 / K80 / V100 (AWS prototype,
+//! §IV-B). Rather than hard-coding an enum, types are interned in a
+//! [`GpuCatalog`] so user clusters can define arbitrary accelerator families
+//! (TPUs, FPGAs, …) without touching scheduler code.
+
+/// Index of an accelerator type `r ∈ [R]` within a [`GpuCatalog`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct GpuTypeId(pub u16);
+
+impl GpuTypeId {
+    /// The id as a `usize` index into per-type vectors.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for GpuTypeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// Registry of accelerator types present in a cluster.
+///
+/// A catalog is immutable once the cluster is built; `R = catalog.len()`.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct GpuCatalog {
+    names: Vec<String>,
+}
+
+impl GpuCatalog {
+    /// An empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build a catalog from a list of type names.
+    ///
+    /// Duplicate names are interned once.
+    pub fn from_names<I, S>(names: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let mut cat = Self::new();
+        for n in names {
+            cat.intern(n.as_ref());
+        }
+        cat
+    }
+
+    /// Intern `name`, returning its id (existing id if already present).
+    pub fn intern(&mut self, name: &str) -> GpuTypeId {
+        if let Some(id) = self.lookup(name) {
+            return id;
+        }
+        assert!(
+            self.names.len() < u16::MAX as usize,
+            "too many GPU types interned"
+        );
+        self.names.push(name.to_owned());
+        GpuTypeId((self.names.len() - 1) as u16)
+    }
+
+    /// Find the id of `name`, if interned.
+    pub fn lookup(&self, name: &str) -> Option<GpuTypeId> {
+        self.names
+            .iter()
+            .position(|n| n == name)
+            .map(|i| GpuTypeId(i as u16))
+    }
+
+    /// Name of type `id`.
+    ///
+    /// # Panics
+    /// Panics if `id` is not part of this catalog.
+    pub fn name(&self, id: GpuTypeId) -> &str {
+        &self.names[id.index()]
+    }
+
+    /// Number of types, `R`.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether the catalog has no types.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterate over `(id, name)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (GpuTypeId, &str)> {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (GpuTypeId(i as u16), n.as_str()))
+    }
+
+    /// All ids in order.
+    pub fn ids(&self) -> impl Iterator<Item = GpuTypeId> {
+        (0..self.names.len() as u16).map(GpuTypeId)
+    }
+}
+
+/// Canonical names used by the paper's clusters.
+pub mod names {
+    /// NVIDIA Tesla V100 (fastest type in the simulated cluster).
+    pub const V100: &str = "V100";
+    /// NVIDIA Tesla P100.
+    pub const P100: &str = "P100";
+    /// NVIDIA Tesla K80 (slowest type in the simulated cluster).
+    pub const K80: &str = "K80";
+    /// NVIDIA T4 Tensor Core (AWS g4dn.xlarge).
+    pub const T4: &str = "T4";
+    /// NVIDIA GRID K520 (AWS g2dn.2xlarge).
+    pub const K520: &str = "K520";
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut c = GpuCatalog::new();
+        let a = c.intern("V100");
+        let b = c.intern("V100");
+        assert_eq!(a, b);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn from_names_preserves_order() {
+        let c = GpuCatalog::from_names(["V100", "P100", "K80"]);
+        assert_eq!(c.lookup("V100"), Some(GpuTypeId(0)));
+        assert_eq!(c.lookup("P100"), Some(GpuTypeId(1)));
+        assert_eq!(c.lookup("K80"), Some(GpuTypeId(2)));
+        assert_eq!(c.lookup("T4"), None);
+        assert_eq!(c.name(GpuTypeId(2)), "K80");
+    }
+
+    #[test]
+    fn from_names_dedups() {
+        let c = GpuCatalog::from_names(["A", "B", "A"]);
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn iter_matches_ids() {
+        let c = GpuCatalog::from_names(["X", "Y"]);
+        let pairs: Vec<_> = c.iter().collect();
+        assert_eq!(pairs, vec![(GpuTypeId(0), "X"), (GpuTypeId(1), "Y")]);
+        let ids: Vec<_> = c.ids().collect();
+        assert_eq!(ids, vec![GpuTypeId(0), GpuTypeId(1)]);
+    }
+
+    #[test]
+    fn empty_catalog() {
+        let c = GpuCatalog::new();
+        assert!(c.is_empty());
+        assert_eq!(c.len(), 0);
+    }
+}

@@ -1,0 +1,85 @@
+//! Machines (servers) holding accelerators.
+
+use crate::catalog::GpuTypeId;
+
+/// Index of a machine `h ∈ [H]` within a [`crate::Cluster`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MachineId(pub u32);
+
+impl MachineId {
+    /// The id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for MachineId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "h{}", self.0)
+    }
+}
+
+/// A server with per-type accelerator capacities `c_h^r`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Machine {
+    id: MachineId,
+    /// `capacity[r]` = number of type-`r` GPUs installed on this machine.
+    capacity: Vec<u32>,
+}
+
+impl Machine {
+    /// Create a machine; `capacity[r]` is indexed by [`GpuTypeId`].
+    pub fn new(id: MachineId, capacity: Vec<u32>) -> Self {
+        Self { id, capacity }
+    }
+
+    /// This machine's id.
+    #[inline]
+    pub fn id(&self) -> MachineId {
+        self.id
+    }
+
+    /// Capacity `c_h^r` for type `r`. Types beyond the capacity vector hold 0.
+    #[inline]
+    pub fn capacity(&self, r: GpuTypeId) -> u32 {
+        self.capacity.get(r.index()).copied().unwrap_or(0)
+    }
+
+    /// Total number of GPUs across all types on this machine.
+    pub fn total_gpus(&self) -> u32 {
+        self.capacity.iter().sum()
+    }
+
+    /// The raw per-type capacity vector.
+    pub fn capacities(&self) -> &[u32] {
+        &self.capacity
+    }
+
+    /// Number of type slots carried (may be less than the catalog's `R`).
+    pub fn num_type_slots(&self) -> usize {
+        self.capacity.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacity_lookup_and_total() {
+        let m = Machine::new(MachineId(3), vec![4, 0, 2]);
+        assert_eq!(m.id(), MachineId(3));
+        assert_eq!(m.capacity(GpuTypeId(0)), 4);
+        assert_eq!(m.capacity(GpuTypeId(1)), 0);
+        assert_eq!(m.capacity(GpuTypeId(2)), 2);
+        // Out-of-range type ids read as zero capacity.
+        assert_eq!(m.capacity(GpuTypeId(9)), 0);
+        assert_eq!(m.total_gpus(), 6);
+    }
+
+    #[test]
+    fn machine_id_display() {
+        assert_eq!(MachineId(12).to_string(), "h12");
+    }
+}

@@ -1,0 +1,128 @@
+//! Rack topology: a second network tier for the communication cost model.
+//!
+//! The paper's cost model only distinguishes consolidated from spread
+//! placements. Real clusters have (at least) two network tiers — NVLink/PCIe
+//! within a machine, ToR switches within a rack, and an oversubscribed
+//! aggregation fabric across racks — so gradient synchronization crossing a
+//! rack boundary is measurably slower than crossing machines within one
+//! rack. [`RackTopology`] assigns machines to racks; the
+//! [`crate::CommCostModel`] charges an extra multiplicative penalty per rack
+//! spanned. When a cluster carries no topology the model behaves exactly as
+//! the flat two-level (machine/cross-machine) model.
+
+use crate::allocation::JobPlacement;
+use crate::machine::MachineId;
+
+/// Identifier of a rack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RackId(pub u16);
+
+/// Machine → rack assignment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RackTopology {
+    rack_of: Vec<RackId>,
+}
+
+impl RackTopology {
+    /// Build from an explicit assignment (index = machine id).
+    pub fn new(rack_of: Vec<RackId>) -> Self {
+        Self { rack_of }
+    }
+
+    /// Assign `num_machines` machines round-chunk-wise to racks of
+    /// `machines_per_rack` (the common row-of-servers layout).
+    ///
+    /// # Panics
+    /// Panics if `machines_per_rack` is 0.
+    pub fn uniform(num_machines: usize, machines_per_rack: usize) -> Self {
+        assert!(machines_per_rack >= 1, "racks must hold at least 1 machine");
+        Self {
+            rack_of: (0..num_machines)
+                .map(|h| RackId((h / machines_per_rack) as u16))
+                .collect(),
+        }
+    }
+
+    /// The rack of machine `h`. Machines beyond the assignment get their own
+    /// synthetic rack (conservative: counted as remote).
+    pub fn rack_of(&self, h: MachineId) -> RackId {
+        self.rack_of
+            .get(h.index())
+            .copied()
+            .unwrap_or(RackId(u16::MAX - (h.index() % 1000) as u16))
+    }
+
+    /// Number of racks in the assignment.
+    pub fn num_racks(&self) -> usize {
+        let mut ids: Vec<RackId> = self.rack_of.clone();
+        ids.sort_unstable();
+        ids.dedup();
+        ids.len()
+    }
+
+    /// Number of distinct racks a placement touches.
+    pub fn racks_spanned(&self, placement: &JobPlacement) -> usize {
+        let mut ids: Vec<RackId> = placement
+            .slices()
+            .iter()
+            .map(|s| self.rack_of(s.machine))
+            .collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::allocation::PlacementSlice;
+    use crate::catalog::GpuTypeId;
+
+    #[test]
+    fn uniform_assignment() {
+        let t = RackTopology::uniform(7, 3);
+        assert_eq!(t.rack_of(MachineId(0)), RackId(0));
+        assert_eq!(t.rack_of(MachineId(2)), RackId(0));
+        assert_eq!(t.rack_of(MachineId(3)), RackId(1));
+        assert_eq!(t.rack_of(MachineId(6)), RackId(2));
+        assert_eq!(t.num_racks(), 3);
+    }
+
+    #[test]
+    fn unknown_machines_are_remote() {
+        let t = RackTopology::uniform(2, 2);
+        assert_ne!(t.rack_of(MachineId(50)), RackId(0));
+    }
+
+    #[test]
+    fn racks_spanned_counts_distinct() {
+        let t = RackTopology::uniform(6, 2);
+        let p = JobPlacement::from_slices([
+            PlacementSlice {
+                machine: MachineId(0),
+                gpu: GpuTypeId(0),
+                count: 1,
+            },
+            PlacementSlice {
+                machine: MachineId(1),
+                gpu: GpuTypeId(0),
+                count: 1,
+            },
+            PlacementSlice {
+                machine: MachineId(4),
+                gpu: GpuTypeId(0),
+                count: 1,
+            },
+        ]);
+        // Machines 0,1 share rack 0; machine 4 is rack 2.
+        assert_eq!(t.racks_spanned(&p), 2);
+        assert_eq!(t.racks_spanned(&JobPlacement::empty()), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_sized_racks_rejected() {
+        RackTopology::uniform(4, 0);
+    }
+}

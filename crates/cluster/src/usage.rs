@@ -1,0 +1,168 @@
+//! Occupied-GPU bookkeeping: the `γ_h^r(t)` quantities that drive the
+//! primal–dual price function (Eq. 5 of the paper).
+
+use crate::catalog::GpuTypeId;
+use crate::cluster::Cluster;
+use crate::machine::MachineId;
+
+/// Per-(machine, type) occupied counts, dense `H × R` matrix.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Usage {
+    num_types: usize,
+    /// Row-major `used[h * R + r]`.
+    used: Vec<u32>,
+}
+
+impl Usage {
+    /// All-zero usage for `cluster`.
+    pub fn empty(cluster: &Cluster) -> Self {
+        Self {
+            num_types: cluster.num_types(),
+            used: vec![0; cluster.num_machines() * cluster.num_types()],
+        }
+    }
+
+    #[inline]
+    fn idx(&self, h: MachineId, r: GpuTypeId) -> usize {
+        h.index() * self.num_types + r.index()
+    }
+
+    /// Occupied count `γ_h^r`.
+    #[inline]
+    pub fn get(&self, h: MachineId, r: GpuTypeId) -> u32 {
+        self.used[self.idx(h, r)]
+    }
+
+    /// Add `count` occupied GPUs of type `r` on machine `h`.
+    #[inline]
+    pub fn add(&mut self, h: MachineId, r: GpuTypeId, count: u32) {
+        let i = self.idx(h, r);
+        self.used[i] += count;
+    }
+
+    /// Release `count` occupied GPUs.
+    ///
+    /// # Panics
+    /// Panics (in debug builds, via underflow check) if releasing more than
+    /// held.
+    #[inline]
+    pub fn sub(&mut self, h: MachineId, r: GpuTypeId, count: u32) {
+        let i = self.idx(h, r);
+        self.used[i] = self.used[i]
+            .checked_sub(count)
+            .expect("usage underflow: released more GPUs than held");
+    }
+
+    /// Free GPUs of type `r` on machine `h`, `c_h^r − γ_h^r`
+    /// (saturating at 0 if over-allocated).
+    #[inline]
+    pub fn free(&self, cluster: &Cluster, h: MachineId, r: GpuTypeId) -> u32 {
+        cluster.capacity(h, r).saturating_sub(self.get(h, r))
+    }
+
+    /// Total free GPUs of type `r` across the cluster.
+    pub fn free_of_type(&self, cluster: &Cluster, r: GpuTypeId) -> u32 {
+        cluster
+            .machine_ids()
+            .map(|h| self.free(cluster, h, r))
+            .sum()
+    }
+
+    /// Total free GPUs on machine `h` across all types.
+    pub fn free_on_machine(&self, cluster: &Cluster, h: MachineId) -> u32 {
+        cluster
+            .catalog()
+            .ids()
+            .map(|r| self.free(cluster, h, r))
+            .sum()
+    }
+
+    /// Total occupied GPUs across the cluster.
+    pub fn total_used(&self) -> u32 {
+        self.used.iter().sum()
+    }
+
+    /// Whether every GPU in the cluster is occupied.
+    pub fn is_cluster_full(&self, cluster: &Cluster) -> bool {
+        self.total_used() >= cluster.total_gpus()
+    }
+
+    /// A compact fingerprint of the usage state, used as a memoization key
+    /// by the dynamic-programming dual subroutine (Algorithm 2).
+    pub fn fingerprint(&self) -> u64 {
+        // FNV-1a over the raw counts: cheap, deterministic, and stable
+        // across runs (unlike `DefaultHasher` with random keys).
+        let mut h: u64 = 0xcbf29ce484222325;
+        for &v in &self.used {
+            h ^= v as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        h
+    }
+
+    /// Raw occupied counts, row-major `[h][r]`.
+    pub fn raw(&self) -> &[u32] {
+        &self.used
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::ClusterBuilder;
+
+    fn cl() -> (Cluster, GpuTypeId, GpuTypeId) {
+        let mut b = ClusterBuilder::new();
+        let a = b.gpu_type("A");
+        let c = b.gpu_type("C");
+        b.machine(&[(a, 4)]);
+        b.machine(&[(a, 1), (c, 2)]);
+        (b.build(), a, c)
+    }
+
+    #[test]
+    fn add_sub_free_roundtrip() {
+        let (cl, a, c) = cl();
+        let mut u = Usage::empty(&cl);
+        u.add(MachineId(0), a, 3);
+        assert_eq!(u.get(MachineId(0), a), 3);
+        assert_eq!(u.free(&cl, MachineId(0), a), 1);
+        u.sub(MachineId(0), a, 2);
+        assert_eq!(u.free(&cl, MachineId(0), a), 3);
+        assert_eq!(u.free_of_type(&cl, a), 4);
+        assert_eq!(u.free_of_type(&cl, c), 2);
+        assert_eq!(u.free_on_machine(&cl, MachineId(1)), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "usage underflow")]
+    fn sub_underflow_panics() {
+        let (cl, a, _) = cl();
+        let mut u = Usage::empty(&cl);
+        u.sub(MachineId(0), a, 1);
+    }
+
+    #[test]
+    fn cluster_full_detection() {
+        let (cl, a, c) = cl();
+        let mut u = Usage::empty(&cl);
+        assert!(!u.is_cluster_full(&cl));
+        u.add(MachineId(0), a, 4);
+        u.add(MachineId(1), a, 1);
+        u.add(MachineId(1), c, 2);
+        assert!(u.is_cluster_full(&cl));
+        assert_eq!(u.total_used(), 7);
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_states() {
+        let (cl, a, _) = cl();
+        let mut u1 = Usage::empty(&cl);
+        let u0 = u1.clone();
+        u1.add(MachineId(0), a, 1);
+        assert_ne!(u0.fingerprint(), u1.fingerprint());
+        let mut u2 = Usage::empty(&cl);
+        u2.add(MachineId(0), a, 1);
+        assert_eq!(u1.fingerprint(), u2.fingerprint());
+    }
+}

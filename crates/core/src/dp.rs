@@ -1,0 +1,373 @@
+//! `DP_allocation` (Algorithm 2, lines 1–21) and its greedy companion.
+//!
+//! Given the round's queue, select the subset of jobs to schedule and their
+//! placements so that the total payoff `Σ μ_j` is maximized:
+//!
+//! * [`dp_allocation`] — the paper's recursive dynamic program over
+//!   `(queue index, server state)`, memoized on the usage fingerprint so
+//!   identical subproblems are solved once (the paper's "we always save the
+//!   result … to avoid recomputing the same subproblem"). Exact but
+//!   exponential in the worst case — intended for small queues.
+//! * [`greedy_allocation`] — a single pass over jobs in descending
+//!   utility-density order, admitting every positive-payoff placement and
+//!   updating usage (and therefore prices) as it goes. `O(|Q| · H · R)`.
+//!
+//! Tests verify that the DP never returns less total payoff than the greedy
+//! and that it matches exhaustive search on small instances.
+
+use std::collections::HashMap;
+
+use hadar_cluster::Usage;
+use hadar_sim::JobState;
+
+use crate::find_alloc::{find_alloc, find_candidates, AllocEnv, Candidate};
+
+/// The chosen schedule for one round: per selected job (by index into the
+/// queue order given to the algorithm), its placement candidate.
+#[derive(Debug, Clone, Default)]
+pub struct Selection {
+    /// `(queue index, candidate)` pairs, ascending by index.
+    pub decisions: Vec<(usize, Candidate)>,
+    /// Total payoff `Σ μ_j` of the selection.
+    pub total_payoff: f64,
+}
+
+/// Per-job branching width of the DP: the skip branch plus up to this many
+/// alternative placements from `find_candidates`.
+const DP_BRANCH_WIDTH: usize = 3;
+
+/// Node budget after which the DP abandons exploration (degenerate state
+/// spaces on large clusters); the greedy result is the floor either way.
+const DP_NODE_BUDGET: usize = 20_000;
+
+/// Subset selection by memoized DP over (queue index, usage state),
+/// branching over each job's top placements — not only its single best —
+/// so the DP can trade a fast GPU away from a job that barely benefits.
+/// The greedy solution is always computed as a floor; the better of the two
+/// is returned, so `dp_allocation` never underperforms `greedy_allocation`.
+pub fn dp_allocation(queue: &[&JobState], env: &AllocEnv<'_>, usage: &Usage) -> Selection {
+    let mut memo: HashMap<(usize, u64), (f64, Vec<(usize, Candidate)>)> = HashMap::new();
+    let mut nodes = 0usize;
+    let (total_payoff, mut decisions) = dp_rec(0, queue, env, usage, &mut memo, &mut nodes);
+    decisions.sort_by_key(|(i, _)| *i);
+    let dp = Selection {
+        decisions,
+        total_payoff,
+    };
+    let greedy = greedy_allocation(queue, env, usage);
+    if greedy.total_payoff > dp.total_payoff {
+        greedy
+    } else {
+        dp
+    }
+}
+
+fn dp_rec(
+    idx: usize,
+    queue: &[&JobState],
+    env: &AllocEnv<'_>,
+    usage: &Usage,
+    memo: &mut HashMap<(usize, u64), (f64, Vec<(usize, Candidate)>)>,
+    nodes: &mut usize,
+) -> (f64, Vec<(usize, Candidate)>) {
+    if idx >= queue.len() || usage.is_cluster_full(env.cluster) {
+        return (0.0, Vec::new());
+    }
+    let key = (idx, usage.fingerprint());
+    if let Some(hit) = memo.get(&key) {
+        return hit.clone();
+    }
+    *nodes += 1;
+    if *nodes > DP_NODE_BUDGET {
+        return (0.0, Vec::new());
+    }
+
+    // Branch 1: skip this job.
+    let mut best = dp_rec(idx + 1, queue, env, usage, memo, nodes);
+
+    // Branches 2..: schedule it at one of its top placements.
+    for cand in find_candidates(queue[idx], env, usage)
+        .into_iter()
+        .take(DP_BRANCH_WIDTH)
+    {
+        let mut taken = usage.clone();
+        for s in cand.placement.slices() {
+            taken.add(s.machine, s.gpu, s.count);
+        }
+        let (sub_payoff, mut sub_dec) = dp_rec(idx + 1, queue, env, &taken, memo, nodes);
+        let payoff = cand.payoff + sub_payoff;
+        if payoff > best.0 {
+            sub_dec.push((idx, cand));
+            best = (payoff, sub_dec);
+        }
+    }
+
+    memo.insert(key, best.clone());
+    best
+}
+
+/// Greedy selection: jobs in descending *utility rate* — best-case utility
+/// per requested GPU **per second of remaining work** (`U / (W_j ·
+/// t_j^min)`), the marginal payoff of a GPU-second spent on the job. Under
+/// the normalized effective-throughput utility this reduces to
+/// shortest-remaining-processing-time ordering, which minimizes average JCT;
+/// ordering by utility *level* instead would starve short jobs whose waiting
+/// time has already deflated their achievable utility. One `find_alloc` per
+/// job, prices updated after every admission.
+pub fn greedy_allocation(queue: &[&JobState], env: &AllocEnv<'_>, usage: &Usage) -> Selection {
+    let mut order: Vec<usize> = (0..queue.len()).collect();
+    let keys: Vec<(f64, f64)> = queue
+        .iter()
+        .map(|s| {
+            let best = s.job.best_rate();
+            if best <= 0.0 || s.remaining_iters <= 0.0 {
+                return (f64::NEG_INFINITY, f64::INFINITY);
+            }
+            let t_min = s.remaining_iters / best;
+            let elapsed = (env.now - s.job.arrival).max(0.0);
+            let density = env
+                .utility
+                .value(&s.job, elapsed + t_min, env.now + t_min)
+                / (s.job.gang as f64 * t_min);
+            (density, t_min)
+        })
+        .collect();
+    order.sort_by(|&a, &b| {
+        keys[b]
+            .0
+            .partial_cmp(&keys[a].0)
+            .expect("finite densities")
+            .then(keys[a].1.partial_cmp(&keys[b].1).expect("finite runtimes"))
+            .then(a.cmp(&b))
+    });
+    let density: Vec<f64> = keys.into_iter().map(|(d, _)| d).collect();
+
+    let mut usage = usage.clone();
+    let mut selection = Selection::default();
+    for i in order {
+        if density[i] == f64::NEG_INFINITY {
+            continue;
+        }
+        if usage.is_cluster_full(env.cluster) {
+            break;
+        }
+        if let Some(cand) = find_alloc(queue[i], env, &usage) {
+            for s in cand.placement.slices() {
+                usage.add(s.machine, s.gpu, s.count);
+            }
+            selection.total_payoff += cand.payoff;
+            selection.decisions.push((i, cand));
+        }
+    }
+    selection.decisions.sort_by_key(|(i, _)| *i);
+    selection
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::price::PriceState;
+    use crate::utility::EffectiveThroughput;
+    use hadar_cluster::{Cluster, CommCostModel, JobId};
+    use hadar_workload::{DlTask, Job};
+
+    fn mk_states(specs: &[(DlTask, u32, u64)]) -> (Cluster, Vec<JobState>) {
+        let cluster = Cluster::motivation_toy();
+        let states = specs
+            .iter()
+            .enumerate()
+            .map(|(i, &(model, gang, epochs))| {
+                JobState::new(Job::for_model(
+                    JobId(i as u32),
+                    model,
+                    cluster.catalog(),
+                    0.0,
+                    gang,
+                    epochs,
+                ))
+            })
+            .collect();
+        (cluster, states)
+    }
+
+    fn run_both(cluster: &Cluster, states: &[JobState]) -> (Selection, Selection) {
+        let prices = PriceState::compute(states, cluster, &EffectiveThroughput, 0.0);
+        let comm = CommCostModel::default();
+        let env = AllocEnv {
+            cluster,
+            comm: &comm,
+            prices: &prices,
+            utility: &EffectiveThroughput,
+            now: 0.0,
+            realloc_stall: 10.0,
+            features: Default::default(),
+            machine_factors: &[],
+        };
+        let usage = Usage::empty(cluster);
+        let queue: Vec<&JobState> = states.iter().collect();
+        (
+            dp_allocation(&queue, &env, &usage),
+            greedy_allocation(&queue, &env, &usage),
+        )
+    }
+
+    fn feasible(cluster: &Cluster, sel: &Selection, states: &[JobState]) {
+        let mut usage = Usage::empty(cluster);
+        for (i, c) in &sel.decisions {
+            assert_eq!(c.placement.total_workers(), states[*i].job.gang);
+            for s in c.placement.slices() {
+                usage.add(s.machine, s.gpu, s.count);
+            }
+        }
+        for h in cluster.machine_ids() {
+            for r in cluster.catalog().ids() {
+                assert!(usage.get(h, r) <= cluster.capacity(h, r));
+            }
+        }
+    }
+
+    #[test]
+    fn dp_and_greedy_feasible_and_dp_at_least_as_good() {
+        let (cluster, states) = mk_states(&[
+            (DlTask::ResNet18, 2, 40),
+            (DlTask::Lstm, 2, 5),
+            (DlTask::CycleGan, 3, 3),
+            (DlTask::Transformer, 1, 8),
+        ]);
+        let (dp, greedy) = run_both(&cluster, &states);
+        feasible(&cluster, &dp, &states);
+        feasible(&cluster, &greedy, &states);
+        assert!(
+            dp.total_payoff >= greedy.total_payoff - 1e-9,
+            "dp {} < greedy {}",
+            dp.total_payoff,
+            greedy.total_payoff
+        );
+        assert!(!dp.decisions.is_empty());
+    }
+
+    #[test]
+    fn dp_matches_exhaustive_on_tiny_instance() {
+        // Two jobs contending for the 2 V100s: at most one can take both.
+        let (cluster, states) =
+            mk_states(&[(DlTask::ResNet18, 2, 40), (DlTask::ResNet18, 2, 40)]);
+        let (dp, _) = run_both(&cluster, &states);
+        feasible(&cluster, &dp, &states);
+        // Both jobs can actually be placed: one on V100s, one on P100s.
+        assert_eq!(dp.decisions.len(), 2);
+    }
+
+    #[test]
+    fn empty_queue_yields_empty_selection() {
+        let (cluster, _) = mk_states(&[]);
+        let states: Vec<JobState> = Vec::new();
+        let (dp, greedy) = run_both(&cluster, &states);
+        assert!(dp.decisions.is_empty());
+        assert!(greedy.decisions.is_empty());
+        assert_eq!(dp.total_payoff, 0.0);
+    }
+
+    #[test]
+    fn greedy_prefers_high_density_jobs_under_contention() {
+        // Five 2-GPU jobs on a 6-GPU cluster: only ~3 fit. The greedy must
+        // admit the higher-utility-density ones (ResNet-18 here: its short
+        // best-case runtime gives the largest effective throughput).
+        let (cluster, states) = mk_states(&[
+            (DlTask::CycleGan, 2, 6),
+            (DlTask::ResNet18, 2, 40),
+            (DlTask::CycleGan, 2, 6),
+            (DlTask::ResNet18, 2, 40),
+            (DlTask::CycleGan, 2, 6),
+        ]);
+        let (_, greedy) = run_both(&cluster, &states);
+        feasible(&cluster, &greedy, &states);
+        let picked: Vec<usize> = greedy.decisions.iter().map(|(i, _)| *i).collect();
+        assert!(picked.contains(&1) && picked.contains(&3), "{picked:?}");
+    }
+
+    #[test]
+    fn decisions_are_sorted_by_queue_index() {
+        let (cluster, states) = mk_states(&[
+            (DlTask::ResNet18, 1, 10),
+            (DlTask::ResNet18, 1, 10),
+            (DlTask::ResNet18, 1, 10),
+        ]);
+        let (dp, greedy) = run_both(&cluster, &states);
+        for sel in [&dp, &greedy] {
+            assert!(sel.decisions.windows(2).all(|w| w[0].0 < w[1].0));
+        }
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::price::PriceState;
+    use crate::utility::EffectiveThroughput;
+    use hadar_cluster::{Cluster, CommCostModel, JobId};
+    use hadar_workload::{DlTask, Job};
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// DP and greedy selections on random queues are always feasible
+        /// (capacity + gang), carry non-negative payoffs, and the DP never
+        /// scores below the greedy.
+        #[test]
+        fn selections_feasible_and_dp_dominates(
+            specs in proptest::collection::vec(
+                (0usize..5, 1u32..=4, 1u64..=60), 1..9),
+        ) {
+            let cluster = Cluster::motivation_toy();
+            let states: Vec<JobState> = specs
+                .iter()
+                .enumerate()
+                .map(|(i, &(m, gang, epochs))| {
+                    JobState::new(Job::for_model(
+                        JobId(i as u32),
+                        DlTask::ALL[m],
+                        cluster.catalog(),
+                        0.0,
+                        gang,
+                        epochs,
+                    ))
+                })
+                .collect();
+            let prices = PriceState::compute(&states, &cluster, &EffectiveThroughput, 0.0);
+            let comm = CommCostModel::default();
+            let env = AllocEnv {
+                cluster: &cluster,
+                comm: &comm,
+                prices: &prices,
+                utility: &EffectiveThroughput,
+                now: 0.0,
+                realloc_stall: 10.0,
+                features: Default::default(),
+                machine_factors: &[],
+            };
+            let usage = Usage::empty(&cluster);
+            let queue: Vec<&JobState> = states.iter().collect();
+            let dp = dp_allocation(&queue, &env, &usage);
+            let greedy = greedy_allocation(&queue, &env, &usage);
+            prop_assert!(dp.total_payoff >= greedy.total_payoff - 1e-9);
+            for sel in [&dp, &greedy] {
+                let mut u = Usage::empty(&cluster);
+                let mut seen = std::collections::HashSet::new();
+                for (i, c) in &sel.decisions {
+                    prop_assert!(seen.insert(*i), "job selected twice");
+                    prop_assert!(c.payoff > 0.0);
+                    prop_assert_eq!(c.placement.total_workers(), states[*i].job.gang);
+                    for s in c.placement.slices() {
+                        u.add(s.machine, s.gpu, s.count);
+                    }
+                }
+                for h in cluster.machine_ids() {
+                    for r in cluster.catalog().ids() {
+                        prop_assert!(u.get(h, r) <= cluster.capacity(h, r));
+                    }
+                }
+            }
+        }
+    }
+}

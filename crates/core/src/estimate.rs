@@ -1,0 +1,94 @@
+//! Finish-time estimation for candidate placements.
+//!
+//! The payoff `φ_j(s) = U_j(f_{js} − a_j) − cost(s)` of a candidate schedule
+//! needs the finish time `f_{js}` the job would reach under it. Hadar
+//! estimates it optimistically-but-consistently: the job keeps the candidate
+//! placement's rate until done, plus the checkpoint stall if the placement
+//! differs from the current one.
+
+use hadar_sim::JobState;
+
+/// Estimated outcome of running `state` at aggregate `rate` (iterations/sec)
+/// starting at `now`, with an up-front `stall` (checkpoint save/restore)
+/// charged first.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CompletionEstimate {
+    /// Estimated completion duration `f̂_j − a_j`.
+    pub jct: f64,
+    /// Estimated absolute finish time `f̂_j`.
+    pub finish: f64,
+    /// Estimated seconds of work remaining at this rate (excluding stall).
+    pub work_seconds: f64,
+}
+
+/// Estimate completion; `None` when the rate cannot make progress.
+pub fn estimate_completion(
+    state: &JobState,
+    rate: f64,
+    now: f64,
+    stall: f64,
+) -> Option<CompletionEstimate> {
+    if rate <= 0.0 || !rate.is_finite() {
+        return None;
+    }
+    debug_assert!(stall >= 0.0);
+    let work_seconds = state.remaining_iters / rate;
+    let finish = now + stall + work_seconds;
+    Some(CompletionEstimate {
+        jct: finish - state.job.arrival,
+        finish,
+        work_seconds,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hadar_cluster::{Cluster, JobId};
+    use hadar_workload::{DlTask, Job};
+
+    fn state() -> JobState {
+        let c = Cluster::paper_simulation();
+        JobState::new(Job::for_model(
+            JobId(0),
+            DlTask::ResNet18,
+            c.catalog(),
+            100.0,
+            2,
+            10,
+        ))
+    }
+
+    #[test]
+    fn estimates_are_consistent() {
+        let s = state();
+        let e = estimate_completion(&s, 100.0, 500.0, 10.0).unwrap();
+        assert!((e.work_seconds - s.remaining_iters / 100.0).abs() < 1e-9);
+        assert!((e.finish - (500.0 + 10.0 + e.work_seconds)).abs() < 1e-9);
+        assert!((e.jct - (e.finish - 100.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn faster_rate_finishes_earlier() {
+        let s = state();
+        let slow = estimate_completion(&s, 50.0, 0.0, 0.0).unwrap();
+        let fast = estimate_completion(&s, 200.0, 0.0, 0.0).unwrap();
+        assert!(fast.finish < slow.finish);
+    }
+
+    #[test]
+    fn zero_rate_yields_none() {
+        let s = state();
+        assert_eq!(estimate_completion(&s, 0.0, 0.0, 0.0), None);
+        assert_eq!(estimate_completion(&s, f64::NAN, 0.0, 0.0), None);
+    }
+
+    #[test]
+    fn progress_shrinks_estimate() {
+        let mut s = state();
+        let before = estimate_completion(&s, 100.0, 0.0, 0.0).unwrap();
+        s.remaining_iters /= 2.0;
+        let after = estimate_completion(&s, 100.0, 0.0, 0.0).unwrap();
+        assert!((after.work_seconds - before.work_seconds / 2.0).abs() < 1e-9);
+    }
+}

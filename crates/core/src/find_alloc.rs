@@ -1,0 +1,569 @@
+//! `FIND_ALLOC` (Algorithm 2, lines 22–34): the best-payoff placement for a
+//! single job against the current cluster usage and prices.
+//!
+//! GPU types are considered in descending-throughput order (line 23); both
+//! *consolidated* placements (all tasks packed into the fewest servers,
+//! line 24) and *non-consolidated* ones (spread across servers, line 25) are
+//! enumerated, including **mixed-type** placements — the task-level
+//! heterogeneity flexibility that separates Hadar from job-level schedulers.
+//! Each candidate is priced at `Σ_h Σ_r k_h^r(t) · w_{jh}^r` (line 26) with
+//! the cross-server communication surcharge added for spread placements
+//! (line 27); the candidate maximizing the payoff
+//! `μ_j = U_j(f̂_{js} − a_j) − cost` is returned iff `μ_j > 0` (lines 28–33).
+//!
+//! Note on fidelity: the paper picks the minimum-*cost* candidate and then
+//! checks payoff. Because different candidates imply different finish times
+//! (and hence different utilities), selecting by maximum payoff implements
+//! the underlying dual objective `argmax_s φ_j(s)` (Eq. 4) directly; for
+//! candidates with equal estimated finish times the two rules coincide.
+
+use hadar_cluster::{
+    Cluster, CommCostModel, GpuTypeId, JobPlacement, MachineId, PlacementSlice, Usage,
+};
+use hadar_sim::JobState;
+
+use crate::estimate::estimate_completion;
+use crate::price::PriceState;
+use crate::utility::Utility;
+
+/// Ablation switches for candidate generation (all on by default).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Features {
+    /// Generate mixed-GPU-type placements (the task-level flexibility that
+    /// defines Hadar; off = job-level placement like Gavel).
+    pub mixed_types: bool,
+    /// Offer the job's current placement as a stall-free candidate
+    /// (off = re-place from scratch each round).
+    pub sticky: bool,
+}
+
+impl Default for Features {
+    fn default() -> Self {
+        Self {
+            mixed_types: true,
+            sticky: true,
+        }
+    }
+}
+
+/// Shared read-only context for allocation decisions within one round.
+pub struct AllocEnv<'a> {
+    /// Cluster topology.
+    pub cluster: &'a Cluster,
+    /// Communication cost model.
+    pub comm: &'a CommCostModel,
+    /// The round's dual prices.
+    pub prices: &'a PriceState,
+    /// The scheduling objective.
+    pub utility: &'a dyn Utility,
+    /// Current time.
+    pub now: f64,
+    /// Assumed checkpoint-restart stall when a job's placement changes.
+    pub realloc_stall: f64,
+    /// Candidate-generation ablation switches.
+    pub features: Features,
+    /// Per-machine straggler factors (may be empty ⇒ all healthy). Hadar is
+    /// straggler-aware: candidate rates are discounted by their hosts'
+    /// factors, so placements avoid — and running jobs migrate off —
+    /// straggling servers.
+    pub machine_factors: &'a [f64],
+}
+
+impl AllocEnv<'_> {
+    /// The straggler factor of machine `h` (1.0 when not provided).
+    pub fn machine_factor(&self, h: MachineId) -> f64 {
+        self.machine_factors.get(h.index()).copied().unwrap_or(1.0)
+    }
+}
+
+/// A priced candidate placement for one job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Candidate {
+    /// The placement `w_{jh}^r`.
+    pub placement: JobPlacement,
+    /// Effective aggregate rate (iterations/sec) including the cross-server
+    /// degradation.
+    pub rate: f64,
+    /// Estimated utility `U_j(f̂_j − a_j)` under this placement.
+    pub utility: f64,
+    /// Resource cost `Σ k_h^r w_{jh}^r`.
+    pub resource_cost: f64,
+    /// Communication surcharge (0 for consolidated placements).
+    pub comm_cost: f64,
+    /// `μ_j = utility − resource_cost − comm_cost`.
+    pub payoff: f64,
+    /// Whether this placement differs from the job's current one (and would
+    /// therefore pay the checkpoint stall).
+    pub changed: bool,
+}
+
+/// Find the best positive-payoff placement for `state`, or `None` if every
+/// candidate has non-positive payoff (the job should wait this round).
+pub fn find_alloc(state: &JobState, env: &AllocEnv<'_>, usage: &Usage) -> Option<Candidate> {
+    find_candidates(state, env, usage).into_iter().next()
+}
+
+/// All distinct positive-payoff candidate placements for `state`, best
+/// first. The DP subroutine branches over these so it can deliberately give
+/// a job a slower (cheaper) type when that frees a fast type for a job that
+/// benefits more from it.
+pub fn find_candidates(
+    state: &JobState,
+    env: &AllocEnv<'_>,
+    usage: &Usage,
+) -> Vec<Candidate> {
+    let prefs = state.job.profile.types_by_preference();
+    if prefs.is_empty() {
+        return Vec::new();
+    }
+    let w = state.job.gang;
+    let mut cands: Vec<Candidate> = Vec::new();
+    let mut consider = |slices: Option<Vec<PlacementSlice>>| {
+        if let Some(slices) = slices {
+            if let Some(c) = evaluate(state, env, usage, slices) {
+                if c.payoff > 0.0 && !cands.iter().any(|o| o.placement == c.placement) {
+                    cands.push(c);
+                }
+            }
+        }
+    };
+
+    // Sticky candidate: keep the current placement if it still fits (no
+    // checkpoint stall, no movement).
+    if env.features.sticky
+        && !state.placement.is_empty()
+        && fits(env.cluster, usage, &state.placement)
+    {
+        consider(Some(state.placement.slices().to_vec()));
+    }
+
+    for &r in &prefs {
+        consider(consolidated_homogeneous(env, usage, r, w));
+        consider(spread_homogeneous(env, usage, r, w));
+    }
+    if env.features.mixed_types {
+        consider(mixed_spread(env, usage, &prefs, w));
+        consider(mixed_best_single_machine(state, env, usage, &prefs, w));
+    }
+
+    cands.sort_by(|a, b| b.payoff.partial_cmp(&a.payoff).expect("finite payoffs"));
+    cands
+}
+
+/// Price and score one candidate.
+fn evaluate(
+    state: &JobState,
+    env: &AllocEnv<'_>,
+    usage: &Usage,
+    slices: Vec<PlacementSlice>,
+) -> Option<Candidate> {
+    let placement = JobPlacement::from_slices(slices);
+    if placement.total_workers() != state.job.gang {
+        return None;
+    }
+    let changed = placement != state.placement;
+    let bottleneck = placement
+        .bottleneck_rate_per_slice(|h, r| state.job.profile.rate(r) * env.machine_factor(h))?;
+    if bottleneck <= 0.0 {
+        return None;
+    }
+    let rate = bottleneck
+        * state.job.gang as f64
+        * env.comm.placement_factor_racked(&placement, env.cluster.racks());
+    let stall = if changed { env.realloc_stall } else { 0.0 };
+    let est = estimate_completion(state, rate, env.now, stall)?;
+    let utility = env.utility.value(&state.job, est.jct, est.finish);
+    let resource_cost = price_of(env, usage, &placement);
+    let comm_cost = env.comm.comm_cost(
+        placement.num_machines(),
+        resource_cost,
+        placement.total_workers(),
+    );
+    Some(Candidate {
+        payoff: utility - resource_cost - comm_cost,
+        placement,
+        rate,
+        utility,
+        resource_cost,
+        comm_cost,
+        changed,
+    })
+}
+
+/// `Σ_h Σ_r k_h^r(γ_h^r) · w_{jh}^r` at the current usage.
+pub fn price_of(env: &AllocEnv<'_>, usage: &Usage, placement: &JobPlacement) -> f64 {
+    placement
+        .slices()
+        .iter()
+        .map(|s| {
+            let cap = env.cluster.capacity(s.machine, s.gpu);
+            let gamma = usage.get(s.machine, s.gpu);
+            env.prices.price(s.gpu, gamma, cap) * s.count as f64
+        })
+        .sum()
+}
+
+/// Whether `placement` fits within the free capacity left by `usage`.
+pub fn fits(cluster: &Cluster, usage: &Usage, placement: &JobPlacement) -> bool {
+    placement
+        .slices()
+        .iter()
+        .all(|s| usage.free(cluster, s.machine, s.gpu) >= s.count)
+}
+
+/// All `w` workers of type `r` on one machine; among feasible machines, the
+/// cheapest (lowest current price — i.e. the least-loaded server).
+fn consolidated_homogeneous(
+    env: &AllocEnv<'_>,
+    usage: &Usage,
+    r: GpuTypeId,
+    w: u32,
+) -> Option<Vec<PlacementSlice>> {
+    let mut best: Option<(f64, MachineId)> = None;
+    for h in env.cluster.machine_ids() {
+        if usage.free(env.cluster, h, r) >= w {
+            let cap = env.cluster.capacity(h, r);
+            let cost = env.prices.price(r, usage.get(h, r), cap);
+            if best.is_none_or(|(c, _)| cost < c) {
+                best = Some((cost, h));
+            }
+        }
+    }
+    best.map(|(_, h)| {
+        vec![PlacementSlice {
+            machine: h,
+            gpu: r,
+            count: w,
+        }]
+    })
+}
+
+/// All `w` workers of type `r`, spread across the fewest machines
+/// (most-free-first fill).
+fn spread_homogeneous(
+    env: &AllocEnv<'_>,
+    usage: &Usage,
+    r: GpuTypeId,
+    w: u32,
+) -> Option<Vec<PlacementSlice>> {
+    let mut machines: Vec<(u32, MachineId)> = env
+        .cluster
+        .machine_ids()
+        .filter_map(|h| {
+            let f = usage.free(env.cluster, h, r);
+            (f > 0).then_some((f, h))
+        })
+        .collect();
+    machines.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+    fill(machines.into_iter().map(|(f, h)| (h, r, f)), w)
+}
+
+/// All `w` workers filled from the fastest types first, spreading over
+/// machines as needed — the fully flexible task-level placement.
+fn mixed_spread(
+    env: &AllocEnv<'_>,
+    usage: &Usage,
+    prefs: &[GpuTypeId],
+    w: u32,
+) -> Option<Vec<PlacementSlice>> {
+    let mut pool: Vec<(MachineId, GpuTypeId, u32)> = Vec::new();
+    for &r in prefs {
+        let mut machines: Vec<(u32, MachineId)> = env
+            .cluster
+            .machine_ids()
+            .filter_map(|h| {
+                let f = usage.free(env.cluster, h, r);
+                (f > 0).then_some((f, h))
+            })
+            .collect();
+        machines.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+        pool.extend(machines.into_iter().map(|(f, h)| (h, r, f)));
+    }
+    fill(pool.into_iter(), w)
+}
+
+/// All `w` workers on a single machine, mixing types (fastest first);
+/// evaluated per machine, returning the feasible fill with the highest
+/// bottleneck throughput (ties to lower machine id).
+fn mixed_best_single_machine(
+    state: &JobState,
+    env: &AllocEnv<'_>,
+    usage: &Usage,
+    prefs: &[GpuTypeId],
+    w: u32,
+) -> Option<Vec<PlacementSlice>> {
+    let mut best: Option<(f64, Vec<PlacementSlice>)> = None;
+    for h in env.cluster.machine_ids() {
+        let mut remaining = w;
+        let mut slices = Vec::new();
+        let mut bottleneck = f64::INFINITY;
+        for &r in prefs {
+            if remaining == 0 {
+                break;
+            }
+            let free = usage.free(env.cluster, h, r);
+            let take = free.min(remaining);
+            if take > 0 {
+                slices.push(PlacementSlice {
+                    machine: h,
+                    gpu: r,
+                    count: take,
+                });
+                bottleneck =
+                    bottleneck.min(state.job.profile.rate(r) * env.machine_factor(h));
+                remaining -= take;
+            }
+        }
+        if remaining == 0 && best.as_ref().is_none_or(|(b, _)| bottleneck > *b) {
+            best = Some((bottleneck, slices));
+        }
+    }
+    best.map(|(_, s)| s)
+}
+
+/// Take from `(machine, type, available)` entries in order until `w` workers
+/// are placed; `None` if the pool is too small.
+fn fill(
+    pool: impl Iterator<Item = (MachineId, GpuTypeId, u32)>,
+    w: u32,
+) -> Option<Vec<PlacementSlice>> {
+    let mut remaining = w;
+    let mut slices = Vec::new();
+    for (machine, gpu, avail) in pool {
+        if remaining == 0 {
+            break;
+        }
+        let take = avail.min(remaining);
+        if take > 0 {
+            slices.push(PlacementSlice {
+                machine,
+                gpu,
+                count: take,
+            });
+            remaining -= take;
+        }
+    }
+    (remaining == 0).then_some(slices)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::utility::EffectiveThroughput;
+    use hadar_cluster::JobId;
+    use hadar_workload::{DlTask, Job};
+
+    fn setup(gang: u32) -> (Cluster, JobState) {
+        let cluster = Cluster::motivation_toy(); // 2 V100 | 3 P100 | 1 K80
+        let job = Job::for_model(
+            JobId(0),
+            DlTask::ResNet18,
+            cluster.catalog(),
+            0.0,
+            gang,
+            50,
+        );
+        (cluster, JobState::new(job))
+    }
+
+    fn env<'a>(
+        cluster: &'a Cluster,
+        comm: &'a CommCostModel,
+        prices: &'a PriceState,
+        utility: &'a EffectiveThroughput,
+    ) -> AllocEnv<'a> {
+        AllocEnv {
+            cluster,
+            comm,
+            prices,
+            utility,
+            now: 0.0,
+            realloc_stall: 10.0,
+            features: Features::default(),
+            machine_factors: &[],
+        }
+    }
+
+    fn prices_for(cluster: &Cluster, state: &JobState) -> PriceState {
+        PriceState::compute(
+            std::slice::from_ref(state),
+            cluster,
+            &EffectiveThroughput,
+            0.0,
+        )
+    }
+
+    #[test]
+    fn small_gang_lands_consolidated_on_fastest_type() {
+        let (cluster, state) = setup(2);
+        let comm = CommCostModel::default();
+        let prices = prices_for(&cluster, &state);
+        let u = EffectiveThroughput;
+        let e = env(&cluster, &comm, &prices, &u);
+        let usage = Usage::empty(&cluster);
+        let c = find_alloc(&state, &e, &usage).expect("positive payoff expected");
+        // Both V100s on machine 0: consolidated, fastest.
+        assert!(c.placement.is_consolidated());
+        assert_eq!(c.placement.gpu_types(), vec![GpuTypeId(0)]);
+        assert_eq!(c.placement.total_workers(), 2);
+        assert!(c.payoff > 0.0);
+        assert!(c.comm_cost == 0.0);
+    }
+
+    #[test]
+    fn large_gang_mixes_types_when_needed() {
+        // Gang of 6 needs every GPU in the toy cluster: must mix all types.
+        let (cluster, state) = setup(6);
+        let comm = CommCostModel::default();
+        let prices = prices_for(&cluster, &state);
+        let u = EffectiveThroughput;
+        let e = env(&cluster, &comm, &prices, &u);
+        let usage = Usage::empty(&cluster);
+        let c = find_alloc(&state, &e, &usage).expect("only mixed placement fits");
+        assert_eq!(c.placement.total_workers(), 6);
+        assert_eq!(c.placement.gpu_types().len(), 3);
+        // Rate = bottleneck (K80 = 20 it/s) × 6 × comm factor (3 machines).
+        let expect = 20.0 * 6.0 * comm.throughput_factor(3);
+        assert!((c.rate - expect).abs() < 1e-9, "rate={}", c.rate);
+    }
+
+    #[test]
+    fn respects_existing_usage() {
+        let (cluster, state) = setup(2);
+        let comm = CommCostModel::default();
+        let prices = prices_for(&cluster, &state);
+        let u = EffectiveThroughput;
+        let e = env(&cluster, &comm, &prices, &u);
+        let mut usage = Usage::empty(&cluster);
+        // Occupy both V100s: the job must fall back to P100s.
+        usage.add(MachineId(0), GpuTypeId(0), 2);
+        let c = find_alloc(&state, &e, &usage).expect("P100s are free");
+        assert_eq!(c.placement.gpu_types(), vec![GpuTypeId(1)]);
+    }
+
+    #[test]
+    fn none_when_nothing_fits() {
+        let (cluster, state) = setup(2);
+        let comm = CommCostModel::default();
+        let prices = prices_for(&cluster, &state);
+        let u = EffectiveThroughput;
+        let e = env(&cluster, &comm, &prices, &u);
+        let mut usage = Usage::empty(&cluster);
+        for h in cluster.machine_ids() {
+            for r in cluster.catalog().ids() {
+                usage.add(h, r, cluster.capacity(h, r));
+            }
+        }
+        assert_eq!(find_alloc(&state, &e, &usage), None);
+    }
+
+    #[test]
+    fn sticky_placement_preferred_under_equal_rates() {
+        let (cluster, mut state) = setup(2);
+        let comm = CommCostModel::default();
+        let prices = prices_for(&cluster, &state);
+        let u = EffectiveThroughput;
+        let e = env(&cluster, &comm, &prices, &u);
+        let usage = Usage::empty(&cluster);
+        // Job already sits on the V100s: keeping it avoids the 10 s stall,
+        // so the sticky candidate must win and report `changed = false`.
+        state.placement = JobPlacement::single(MachineId(0), GpuTypeId(0), 2);
+        let c = find_alloc(&state, &e, &usage).unwrap();
+        assert!(!c.changed);
+        assert_eq!(c.placement, state.placement);
+    }
+
+    #[test]
+    fn moving_pays_off_when_current_spot_is_slow() {
+        let (cluster, mut state) = setup(1);
+        let comm = CommCostModel::default();
+        let prices = prices_for(&cluster, &state);
+        let u = EffectiveThroughput;
+        let e = env(&cluster, &comm, &prices, &u);
+        let usage = Usage::empty(&cluster);
+        // Currently on the K80 (20 it/s); V100 (120 it/s) is free. The gain
+        // dwarfs the 10 s checkpoint stall for this 50-epoch job.
+        state.placement = JobPlacement::single(MachineId(2), GpuTypeId(2), 1);
+        let c = find_alloc(&state, &e, &usage).unwrap();
+        assert!(c.changed);
+        assert_eq!(c.placement.gpu_types(), vec![GpuTypeId(0)]);
+    }
+
+    #[test]
+    fn straggler_awareness_migrates_off_slow_machine() {
+        // Two 2-GPU V100 machines; the job currently runs on machine 0,
+        // which is straggling at 30% speed. The stall-free sticky candidate
+        // loses to moving onto the healthy machine.
+        let mut b = hadar_cluster::ClusterBuilder::new();
+        let v100 = b.gpu_type("V100");
+        b.machine(&[(v100, 2)]);
+        b.machine(&[(v100, 2)]);
+        let cluster = b.build();
+        let job = hadar_workload::Job::for_model(
+            hadar_cluster::JobId(0),
+            hadar_workload::DlTask::ResNet18,
+            cluster.catalog(),
+            0.0,
+            2,
+            100,
+        );
+        let mut state = JobState::new(job);
+        state.placement = JobPlacement::single(MachineId(0), GpuTypeId(0), 2);
+        let comm = CommCostModel::default();
+        let prices = PriceState::compute(
+            std::slice::from_ref(&state),
+            &cluster,
+            &EffectiveThroughput,
+            0.0,
+        );
+        let factors = [0.3, 1.0];
+        let e = AllocEnv {
+            cluster: &cluster,
+            comm: &comm,
+            prices: &prices,
+            utility: &EffectiveThroughput,
+            now: 0.0,
+            realloc_stall: 10.0,
+            features: Features::default(),
+            machine_factors: &factors,
+        };
+        let usage = Usage::empty(&cluster);
+        let c = find_alloc(&state, &e, &usage).expect("healthy machine available");
+        assert!(c.changed, "should migrate off the straggler");
+        assert_eq!(c.placement.slices()[0].machine, MachineId(1));
+        // And with the straggle gone, the sticky placement wins again.
+        let e2 = AllocEnv {
+            machine_factors: &[],
+            ..e
+        };
+        let c2 = find_alloc(&state, &e2, &usage).unwrap();
+        assert!(!c2.changed);
+    }
+
+    #[test]
+    fn price_of_sums_per_slice() {
+        let (cluster, state) = setup(2);
+        let comm = CommCostModel::default();
+        let prices = prices_for(&cluster, &state);
+        let u = EffectiveThroughput;
+        let e = env(&cluster, &comm, &prices, &u);
+        let usage = Usage::empty(&cluster);
+        let p = JobPlacement::single(MachineId(0), GpuTypeId(0), 2);
+        let got = price_of(&e, &usage, &p);
+        let unit = prices.price(GpuTypeId(0), 0, 2);
+        assert!((got - 2.0 * unit).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unrunnable_job_gets_nothing() {
+        let cluster = Cluster::motivation_toy();
+        let profile = hadar_workload::ThroughputProfile::from_rates(vec![0.0, 0.0, 0.0]);
+        let job = Job::new(JobId(0), DlTask::Lstm, 0.0, 1, 1, 10, profile);
+        let state = JobState::new(job);
+        let comm = CommCostModel::default();
+        let prices = prices_for(&cluster, &state);
+        let u = EffectiveThroughput;
+        let e = env(&cluster, &comm, &prices, &u);
+        assert_eq!(find_alloc(&state, &e, &Usage::empty(&cluster)), None);
+    }
+}

@@ -1,0 +1,328 @@
+//! The online Hadar scheduler (Algorithm 1) behind the simulator's
+//! [`Scheduler`] trait.
+
+use hadar_cluster::{Allocation, JobId, Usage};
+use hadar_sim::{JobState, Scheduler, SchedulerContext};
+
+use crate::config::{AllocMode, HadarConfig};
+use crate::dp::{dp_allocation, greedy_allocation, Selection};
+use crate::find_alloc::AllocEnv;
+use crate::price::{CompetitiveBound, PriceState};
+use crate::profiler::ThroughputEstimator;
+
+
+/// The Hadar scheduler.
+///
+/// Per round it (re)computes the dual prices from the queue (Eqs. 5–8), runs
+/// the dual subroutine (DP or greedy, [`AllocMode`]) to pick the
+/// payoff-maximizing job subset and task-level placements, and returns the
+/// resulting allocation. Jobs it leaves out simply wait — their payoff was
+/// non-positive at current prices, i.e. the cluster is better used by
+/// others this round.
+pub struct HadarScheduler {
+    config: HadarConfig,
+    estimator: Option<ThroughputEstimator>,
+    last_bound: Option<CompetitiveBound>,
+    /// Fingerprint of the job set the cached allocation was computed for
+    /// (incremental mode, §IV-A-5).
+    cached_set: Option<u64>,
+    /// Whether every queued job was placed by the cached allocation.
+    cached_all_placed: bool,
+}
+
+impl HadarScheduler {
+    /// Build from a configuration.
+    pub fn new(config: HadarConfig) -> Self {
+        let estimator = config.profiler.map(ThroughputEstimator::new);
+        Self {
+            config,
+            estimator,
+            last_bound: None,
+            cached_set: None,
+            cached_all_placed: false,
+        }
+    }
+
+    /// The Theorem 2 competitive bound computed from the most recent round's
+    /// prices (`None` before the first round).
+    pub fn last_competitive_bound(&self) -> Option<CompetitiveBound> {
+        self.last_bound
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &HadarConfig {
+        &self.config
+    }
+
+    fn run_subroutine(
+        &self,
+        queue: &[&JobState],
+        env: &AllocEnv<'_>,
+        usage: &Usage,
+    ) -> Selection {
+        let use_dp = match self.config.alloc_mode {
+            AllocMode::Dp => true,
+            AllocMode::Greedy => false,
+            AllocMode::Auto { dp_max_queue } => queue.len() <= dp_max_queue,
+        };
+        if use_dp {
+            dp_allocation(queue, env, usage)
+        } else {
+            greedy_allocation(queue, env, usage)
+        }
+    }
+}
+
+fn job_set_fingerprint(jobs: &[JobState]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for s in jobs {
+        h ^= u64::from(s.job.id.0) + 1;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+impl Scheduler for HadarScheduler {
+    fn name(&self) -> &str {
+        "Hadar"
+    }
+
+    fn schedule(&mut self, ctx: &SchedulerContext<'_>) -> Allocation {
+        // Incremental update policy (§IV-A-5): "rather than recomputing the
+        // allocation in every scheduling round, the scheduler computes the
+        // allocation with the new incoming job while the existing jobs are
+        // still in the running state." When the job set is unchanged since
+        // the last full optimization, every queued job already holds a
+        // placement, and no machine is straggling, simply renew the current
+        // placements.
+        if self.config.incremental
+            && self.cached_all_placed
+            && self.cached_set == Some(job_set_fingerprint(ctx.jobs))
+            && ctx.machine_factors.iter().all(|&f| f >= 1.0)
+            && ctx.jobs.iter().all(|s| s.is_running())
+        {
+            let mut alloc = Allocation::empty();
+            for s in ctx.jobs {
+                alloc.set(s.job.id, s.placement.clone());
+            }
+            return alloc;
+        }
+        // Profiling phase: substitute noisy estimates for under-observed
+        // jobs, then mark this round as observed.
+        let profiled_states: Option<Vec<JobState>> = self.estimator.as_mut().map(|est| {
+            let states = ctx
+                .jobs
+                .iter()
+                .map(|s| {
+                    let mut s2 = s.clone();
+                    s2.job.profile = est.profile_for(&s.job);
+                    s2
+                })
+                .collect();
+            for s in ctx.jobs {
+                est.observe(s.job.id);
+            }
+            states
+        });
+        let states: &[JobState] = profiled_states.as_deref().unwrap_or(ctx.jobs);
+
+        let prices = PriceState::compute(states, ctx.cluster, &self.config.utility, ctx.time);
+        self.last_bound = Some(prices.bound());
+        let env = AllocEnv {
+            cluster: ctx.cluster,
+            comm: ctx.comm,
+            prices: &prices,
+            utility: &self.config.utility,
+            now: ctx.time,
+            realloc_stall: self.config.expected_realloc_penalty,
+            features: self.config.features,
+            machine_factors: ctx.machine_factors,
+        };
+        let usage = Usage::empty(ctx.cluster);
+        let queue: Vec<&JobState> = states.iter().collect();
+        let selection = self.run_subroutine(&queue, &env, &usage);
+
+        let mut alloc = Allocation::empty();
+        for (idx, cand) in selection.decisions {
+            alloc.set(queue[idx].job.id, cand.placement);
+        }
+        self.cached_set = Some(job_set_fingerprint(ctx.jobs));
+        self.cached_all_placed = ctx
+            .jobs
+            .iter()
+            .all(|s| alloc.get(s.job.id).is_some_and(|p| !p.is_empty()));
+        alloc
+    }
+
+    fn on_completion(&mut self, job: JobId) {
+        if let Some(est) = self.estimator.as_mut() {
+            est.forget(job);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profiler::ProfilerConfig;
+    use crate::utility::{MinMakespan, UtilityKind};
+    use hadar_cluster::Cluster;
+    use hadar_sim::{PreemptionPenalty, SimConfig, Simulation};
+    use hadar_workload::{generate_trace, ArrivalPattern, DlTask, Job, TraceConfig};
+
+    fn trace(n: usize, seed: u64) -> (Cluster, Vec<Job>) {
+        let cluster = Cluster::paper_simulation();
+        let jobs = generate_trace(
+            &TraceConfig {
+                num_jobs: n,
+                seed,
+                pattern: ArrivalPattern::Static,
+            },
+            cluster.catalog(),
+        );
+        (cluster, jobs)
+    }
+
+    #[test]
+    fn completes_small_static_trace() {
+        let (cluster, jobs) = trace(12, 1);
+        let out = Simulation::new(cluster, jobs, SimConfig::default())
+            .run(HadarScheduler::new(HadarConfig::default()));
+        assert_eq!(out.completed_jobs(), 12);
+        assert!(!out.timed_out);
+        assert!(out.mean_jct() > 0.0);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let (cluster, jobs) = trace(10, 2);
+        let run = || {
+            Simulation::new(cluster.clone(), jobs.clone(), SimConfig::default())
+                .run(HadarScheduler::new(HadarConfig::default()))
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a.jcts(), b.jcts());
+        assert_eq!(a.makespan(), b.makespan());
+    }
+
+    #[test]
+    fn dp_and_greedy_modes_both_finish() {
+        let (cluster, jobs) = trace(8, 3);
+        for mode in [AllocMode::Dp, AllocMode::Greedy] {
+            let cfg = HadarConfig {
+                alloc_mode: mode,
+                ..HadarConfig::default()
+            };
+            let out = Simulation::new(cluster.clone(), jobs.clone(), SimConfig::default())
+                .run(HadarScheduler::new(cfg));
+            assert_eq!(out.completed_jobs(), 8, "mode {mode:?}");
+        }
+    }
+
+    #[test]
+    fn competitive_bound_exposed_after_scheduling() {
+        let (cluster, jobs) = trace(5, 4);
+        let mut sched = HadarScheduler::new(HadarConfig::default());
+        assert!(sched.last_competitive_bound().is_none());
+        let out = Simulation::new(cluster, jobs, SimConfig::default()).run(&mut sched);
+        assert_eq!(out.completed_jobs(), 5);
+        let bound = sched.last_competitive_bound().expect("ran at least once");
+        assert!(bound.alpha >= 1.0);
+        assert!((bound.ratio - 2.0 * bound.alpha).abs() < 1e-12);
+    }
+
+    #[test]
+    fn incremental_mode_renews_placements_between_events() {
+        // Two long jobs that both fit: after the first round nothing
+        // changes until a completion, so each job reallocates exactly once.
+        let cluster = Cluster::paper_simulation();
+        let jobs = vec![
+            Job::for_model(JobId(0), DlTask::ResNet50, cluster.catalog(), 0.0, 4, 30),
+            Job::for_model(JobId(1), DlTask::Lstm, cluster.catalog(), 0.0, 4, 400),
+        ];
+        let out = Simulation::new(cluster, jobs, SimConfig::default())
+            .run(HadarScheduler::new(HadarConfig::default()));
+        assert_eq!(out.completed_jobs(), 2);
+        for r in &out.records {
+            assert!(
+                r.reallocations <= 2,
+                "job {} moved {} times despite a quiet cluster",
+                r.job.id,
+                r.reallocations
+            );
+        }
+    }
+
+    #[test]
+    fn incremental_mode_does_not_change_quality_materially() {
+        let (cluster, jobs) = trace(20, 9);
+        let run = |incremental: bool| {
+            Simulation::new(cluster.clone(), jobs.clone(), SimConfig::default()).run(
+                HadarScheduler::new(HadarConfig {
+                    incremental,
+                    ..HadarConfig::default()
+                }),
+            )
+        };
+        let (on, off) = (run(true), run(false));
+        assert_eq!(on.completed_jobs(), 20);
+        assert_eq!(off.completed_jobs(), 20);
+        let ratio = on.mean_jct() / off.mean_jct();
+        assert!(
+            (0.8..1.25).contains(&ratio),
+            "incremental mode changed mean JCT by {ratio:.2}x"
+        );
+    }
+
+    #[test]
+    fn makespan_utility_runs() {
+        let (cluster, jobs) = trace(8, 5);
+        let cfg = HadarConfig::with_utility(UtilityKind::MinMakespan(MinMakespan::default()));
+        let out =
+            Simulation::new(cluster, jobs, SimConfig::default()).run(HadarScheduler::new(cfg));
+        assert_eq!(out.completed_jobs(), 8);
+    }
+
+    #[test]
+    fn profiler_enabled_still_completes() {
+        let (cluster, jobs) = trace(8, 6);
+        let cfg = HadarConfig {
+            profiler: Some(ProfilerConfig::default()),
+            ..HadarConfig::default()
+        };
+        let out =
+            Simulation::new(cluster, jobs, SimConfig::default()).run(HadarScheduler::new(cfg));
+        assert_eq!(out.completed_jobs(), 8);
+    }
+
+    #[test]
+    fn prefers_fast_gpus_for_heterogeneity_sensitive_jobs() {
+        // One ResNet-50 (10× V100:K80) and one LSTM (3×), one GPU each, only
+        // one V100 available: the V100 must go to the ResNet-50.
+        let mut b = hadar_cluster::ClusterBuilder::new();
+        let v100 = b.gpu_type("V100");
+        let k80 = b.gpu_type("K80");
+        b.machine(&[(v100, 1)]);
+        b.machine(&[(k80, 1)]);
+        let cluster = b.build();
+        let jobs = vec![
+            Job::for_model(JobId(0), DlTask::ResNet50, cluster.catalog(), 0.0, 1, 2),
+            Job::for_model(JobId(1), DlTask::Lstm, cluster.catalog(), 0.0, 1, 20),
+        ];
+        let cfg = SimConfig {
+            penalty: PreemptionPenalty::None,
+            ..SimConfig::default()
+        };
+        let out = Simulation::new(cluster, jobs, cfg)
+            .run(HadarScheduler::new(HadarConfig::default()));
+        assert_eq!(out.completed_jobs(), 2);
+        // The ResNet-50 run on the V100 completes at its V100-speed time
+        // (within round quantization):
+        let r50_jct = out.records[0].jct().unwrap();
+        let v100_time = out.records[0].job.min_runtime();
+        assert!(
+            r50_jct < v100_time * 2.0,
+            "ResNet-50 seems to have run on the K80: jct={r50_jct}, v100={v100_time}"
+        );
+    }
+}

@@ -1,0 +1,271 @@
+//! Job utility functions `U_j(·)` (§III-A).
+//!
+//! The utility of a job is "a general non-negative function that
+//! characterizes the value of a job's execution" — the knob through which
+//! the optimization framework expresses different scheduling objectives.
+//! All shipped utilities are non-negative and non-increasing in completion
+//! time, as the primal–dual analysis requires.
+
+use hadar_cluster::Cluster;
+use hadar_metrics::isolated_finish_time;
+use hadar_workload::Job;
+
+/// A job-utility function.
+///
+/// `value` receives the job, its (estimated) completion duration
+/// `jct = f_j − a_j`, and the absolute finish time `f_j`, and returns a
+/// non-negative score.
+pub trait Utility: Send + Sync {
+    /// Display name.
+    fn name(&self) -> &str;
+
+    /// `U_j(f_j − a_j)`.
+    fn value(&self, job: &Job, jct: f64, finish: f64) -> f64;
+}
+
+/// The paper's default special case: *effective throughput* — the average
+/// number of iterations completed per second over the job's lifetime,
+/// `E_j·N_j / (f_j − a_j)` — **normalized** by the job's best per-worker
+/// device rate `max_r X_j^r`.
+///
+/// Raw iterations/second are not comparable across models (a ResNet-18
+/// iteration is ~40× cheaper than a ResNet-50 one), so summing raw rates
+/// would systematically hand fast GPUs to small-iteration models. Dividing
+/// by `max_r X_j^r` expresses each job's progress in units of "best-device
+/// worker equivalents" (exactly how Gavel normalizes throughputs), making
+/// utilities commensurable: a job scores its gang size when running fully
+/// on its fastest type. For the unnormalized literal form of the paper's
+/// definition, use [`RawEffectiveThroughput`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EffectiveThroughput;
+
+impl Utility for EffectiveThroughput {
+    fn name(&self) -> &str {
+        "effective-throughput"
+    }
+    fn value(&self, job: &Job, jct: f64, _finish: f64) -> f64 {
+        let best = job.profile.max_rate();
+        if jct <= 0.0 || best <= 0.0 {
+            return 0.0;
+        }
+        job.total_iterations() / (jct * best)
+    }
+}
+
+/// The literal unnormalized effective throughput `E_j·N_j / (f_j − a_j)`,
+/// in raw iterations/second. Only meaningful when all jobs train comparable
+/// models; shipped for fidelity and ablations.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RawEffectiveThroughput;
+
+impl Utility for RawEffectiveThroughput {
+    fn name(&self) -> &str {
+        "raw-effective-throughput"
+    }
+    fn value(&self, job: &Job, jct: f64, _finish: f64) -> f64 {
+        if jct <= 0.0 {
+            return 0.0;
+        }
+        job.total_iterations() / jct
+    }
+}
+
+/// Makespan objective (§III-A: `min max_j f_j`): utility decays with the
+/// *absolute* finish time, so the scheduler prefers schedules that pull the
+/// latest finishers earlier regardless of arrival times.
+///
+/// `scale` sets the utility magnitude (`U = scale · W_j / f_j`); it cancels
+/// in all intra-round comparisons but keeps prices well-conditioned.
+#[derive(Debug, Clone, Copy)]
+pub struct MinMakespan {
+    /// Numerator scale (default `1e6`).
+    pub scale: f64,
+}
+
+impl Default for MinMakespan {
+    fn default() -> Self {
+        Self { scale: 1e6 }
+    }
+}
+
+impl Utility for MinMakespan {
+    fn name(&self) -> &str {
+        "min-makespan"
+    }
+    fn value(&self, job: &Job, _jct: f64, finish: f64) -> f64 {
+        if finish <= 0.0 {
+            return 0.0;
+        }
+        self.scale * job.gang as f64 / finish
+    }
+}
+
+/// Finish-time-fairness objective (§III-A:
+/// `min max_j (f_j − a_j)/(f_j^isolated − a_j)`): utility is the inverse of
+/// the job's fairness ratio ρ, so jobs running behind their fair share gain
+/// utility fastest.
+#[derive(Debug, Clone)]
+pub struct FtfUtility {
+    cluster: Cluster,
+    n_jobs: usize,
+}
+
+impl FtfUtility {
+    /// Build for a cluster shared by `n_jobs` jobs (the Themis `1/n`
+    /// reference share).
+    pub fn new(cluster: Cluster, n_jobs: usize) -> Self {
+        Self {
+            cluster,
+            n_jobs: n_jobs.max(1),
+        }
+    }
+}
+
+impl Utility for FtfUtility {
+    fn name(&self) -> &str {
+        "finish-time-fairness"
+    }
+    fn value(&self, job: &Job, jct: f64, _finish: f64) -> f64 {
+        if jct <= 0.0 {
+            return 0.0;
+        }
+        let iso = isolated_finish_time(job, &self.cluster, self.n_jobs);
+        if !iso.is_finite() {
+            return 0.0;
+        }
+        // 1/ρ = isolated / actual.
+        iso / jct
+    }
+}
+
+/// Enum-dispatch wrapper so configurations stay `Copy`-friendly and the
+/// scheduler avoids `dyn` in its hot loop. Custom utilities can still be
+/// used via [`UtilityKind::Custom`].
+pub enum UtilityKind {
+    /// [`EffectiveThroughput`].
+    EffectiveThroughput,
+    /// [`MinMakespan`] with its scale.
+    MinMakespan(MinMakespan),
+    /// [`FtfUtility`].
+    Ftf(FtfUtility),
+    /// Any user-supplied utility.
+    Custom(Box<dyn Utility>),
+}
+
+impl std::fmt::Debug for UtilityKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl Default for UtilityKind {
+    fn default() -> Self {
+        UtilityKind::EffectiveThroughput
+    }
+}
+
+impl Utility for UtilityKind {
+    fn name(&self) -> &str {
+        match self {
+            UtilityKind::EffectiveThroughput => EffectiveThroughput.name(),
+            UtilityKind::MinMakespan(u) => u.name(),
+            UtilityKind::Ftf(u) => u.name(),
+            UtilityKind::Custom(u) => u.name(),
+        }
+    }
+    fn value(&self, job: &Job, jct: f64, finish: f64) -> f64 {
+        match self {
+            UtilityKind::EffectiveThroughput => EffectiveThroughput.value(job, jct, finish),
+            UtilityKind::MinMakespan(u) => u.value(job, jct, finish),
+            UtilityKind::Ftf(u) => u.value(job, jct, finish),
+            UtilityKind::Custom(u) => u.value(job, jct, finish),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hadar_cluster::JobId;
+    use hadar_workload::DlTask;
+
+    fn job() -> Job {
+        let c = Cluster::paper_simulation();
+        Job::for_model(JobId(0), DlTask::ResNet18, c.catalog(), 0.0, 2, 100)
+    }
+
+    #[test]
+    fn effective_throughput_is_normalized_work_over_time() {
+        let j = job();
+        let u = EffectiveThroughput.value(&j, 100.0, 100.0);
+        let best = j.profile.max_rate();
+        assert!((u - j.total_iterations() / (100.0 * best)).abs() < 1e-9);
+        // Faster completion → higher utility.
+        assert!(EffectiveThroughput.value(&j, 50.0, 50.0) > u);
+        assert_eq!(EffectiveThroughput.value(&j, 0.0, 0.0), 0.0);
+        // Running the whole life at the best rate scores the gang size.
+        let t_best = j.min_runtime();
+        assert!((EffectiveThroughput.value(&j, t_best, t_best) - j.gang as f64).abs() < 1e-9);
+    }
+
+    #[test]
+    fn raw_effective_throughput_is_unnormalized() {
+        let j = job();
+        let raw = RawEffectiveThroughput.value(&j, 100.0, 100.0);
+        assert!((raw - j.total_iterations() / 100.0).abs() < 1e-9);
+        let norm = EffectiveThroughput.value(&j, 100.0, 100.0);
+        assert!((raw / norm - j.profile.max_rate()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn makespan_utility_decays_with_finish_time() {
+        let j = job();
+        let u = MinMakespan::default();
+        assert!(u.value(&j, 10.0, 100.0) > u.value(&j, 10.0, 200.0));
+        assert_eq!(u.value(&j, 10.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn ftf_utility_is_inverse_rho() {
+        let j = job();
+        let c = Cluster::paper_simulation();
+        let iso = isolated_finish_time(&j, &c, 4);
+        let u = FtfUtility::new(c, 4);
+        // Finishing exactly at fair share → utility 1.
+        assert!((u.value(&j, iso, iso) - 1.0).abs() < 1e-9);
+        // Finishing in half the fair time → utility 2.
+        assert!((u.value(&j, iso / 2.0, iso / 2.0) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn all_utilities_non_negative() {
+        let j = job();
+        let c = Cluster::paper_simulation();
+        let kinds: Vec<UtilityKind> = vec![
+            UtilityKind::EffectiveThroughput,
+            UtilityKind::MinMakespan(MinMakespan::default()),
+            UtilityKind::Ftf(FtfUtility::new(c, 8)),
+        ];
+        for k in &kinds {
+            for jct in [0.0, 1.0, 1e3, 1e9] {
+                assert!(k.value(&j, jct, jct + 5.0) >= 0.0, "{}", k.name());
+            }
+        }
+    }
+
+    #[test]
+    fn custom_utility_dispatch() {
+        struct Constant;
+        impl Utility for Constant {
+            fn name(&self) -> &str {
+                "constant"
+            }
+            fn value(&self, _: &Job, _: f64, _: f64) -> f64 {
+                7.0
+            }
+        }
+        let k = UtilityKind::Custom(Box::new(Constant));
+        assert_eq!(k.name(), "constant");
+        assert_eq!(k.value(&job(), 1.0, 1.0), 7.0);
+    }
+}

@@ -1,0 +1,163 @@
+//! Terminal chart rendering for experiment binaries: multi-series step
+//! plots (the Fig. 3 CDFs) and horizontal bar charts (Figs. 4–6), so the
+//! regenerators show the figure *shape* directly without a plotting stack.
+
+/// Render a multi-series line/step chart on a character grid.
+///
+/// Each series is a list of `(x, y)` points (assumed sorted by `x`); series
+/// are drawn with distinct glyphs and listed in a legend. Returns a string
+/// of `height` grid rows plus axes and legend.
+pub fn line_chart(series: &[(&str, &[(f64, f64)])], width: usize, height: usize) -> String {
+    assert!(width >= 16 && height >= 4, "chart too small");
+    const GLYPHS: [char; 6] = ['*', 'o', '+', 'x', '#', '@'];
+    let all: Vec<(f64, f64)> = series
+        .iter()
+        .flat_map(|(_, s)| s.iter().copied())
+        .collect();
+    if all.is_empty() {
+        return String::from("(no data)\n");
+    }
+    let (mut x_min, mut x_max) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut y_min, mut y_max) = (f64::INFINITY, f64::NEG_INFINITY);
+    for (x, y) in &all {
+        x_min = x_min.min(*x);
+        x_max = x_max.max(*x);
+        y_min = y_min.min(*y);
+        y_max = y_max.max(*y);
+    }
+    if x_max <= x_min {
+        x_max = x_min + 1.0;
+    }
+    if y_max <= y_min {
+        y_max = y_min + 1.0;
+    }
+
+    let mut grid = vec![vec![' '; width]; height];
+    for (si, (_, s)) in series.iter().enumerate() {
+        let glyph = GLYPHS[si % GLYPHS.len()];
+        // Step interpolation: for each column, the last y at or before the
+        // column's x.
+        let mut idx = 0usize;
+        let mut last_y: Option<f64> = None;
+        for col in 0..width {
+            let x = x_min + (x_max - x_min) * col as f64 / (width - 1) as f64;
+            while idx < s.len() && s[idx].0 <= x {
+                last_y = Some(s[idx].1);
+                idx += 1;
+            }
+            if let Some(y) = last_y {
+                let row_f = (y - y_min) / (y_max - y_min) * (height - 1) as f64;
+                let row = height - 1 - (row_f.round() as usize).min(height - 1);
+                if grid[row][col] == ' ' {
+                    grid[row][col] = glyph;
+                }
+            }
+        }
+    }
+
+    let mut out = String::new();
+    for (i, row) in grid.iter().enumerate() {
+        let label = if i == 0 {
+            format!("{y_max:>8.2} |")
+        } else if i == height - 1 {
+            format!("{y_min:>8.2} |")
+        } else {
+            format!("{:>8} |", "")
+        };
+        out.push_str(&label);
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str(&format!("{:>8} +{}\n", "", "-".repeat(width)));
+    out.push_str(&format!(
+        "{:>8}  {:<width$.2}{:>.2}\n",
+        "",
+        x_min,
+        x_max,
+        width = width.saturating_sub(6)
+    ));
+    out.push_str("legend: ");
+    for (si, (name, _)) in series.iter().enumerate() {
+        if si > 0 {
+            out.push_str("  ");
+        }
+        out.push(GLYPHS[si % GLYPHS.len()]);
+        out.push(' ');
+        out.push_str(name);
+    }
+    out.push('\n');
+    out
+}
+
+/// Render a horizontal bar chart: one row per `(label, value)`, scaled to
+/// `width` characters at the maximum value.
+pub fn bar_chart(items: &[(&str, f64)], width: usize) -> String {
+    assert!(width >= 8);
+    let max = items.iter().map(|&(_, v)| v).fold(0.0f64, f64::max);
+    let label_w = items.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
+    let mut out = String::new();
+    for (label, value) in items {
+        assert!(*value >= 0.0, "bar values must be non-negative");
+        let bars = if max > 0.0 {
+            ((value / max) * width as f64).round() as usize
+        } else {
+            0
+        };
+        out.push_str(&format!(
+            "{label:<label_w$} |{} {value:.2}\n",
+            "#".repeat(bars)
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_chart_draws_each_series() {
+        let a: Vec<(f64, f64)> = (0..10).map(|i| (i as f64, i as f64)).collect();
+        let b: Vec<(f64, f64)> = (0..10).map(|i| (i as f64, (9 - i) as f64)).collect();
+        let out = line_chart(&[("up", &a), ("down", &b)], 30, 8);
+        assert!(out.contains('*'), "series glyph missing:\n{out}");
+        assert!(out.contains('o'));
+        assert!(out.contains("legend: * up  o down"));
+        // Axis labels.
+        assert!(out.contains("9.00"));
+        assert!(out.contains("0.00"));
+    }
+
+    #[test]
+    fn line_chart_handles_empty_and_flat() {
+        assert_eq!(line_chart(&[], 20, 5), "(no data)\n");
+        let flat = [(0.0, 1.0), (5.0, 1.0)];
+        let out = line_chart(&[("flat", &flat[..])], 20, 5);
+        assert!(out.contains('*'));
+    }
+
+    #[test]
+    fn bar_chart_scales_to_max() {
+        let out = bar_chart(&[("a", 2.0), ("bb", 4.0), ("c", 0.0)], 10);
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[1].contains(&"#".repeat(10)));
+        assert!(lines[0].contains(&"#".repeat(5)));
+        assert!(!lines[2].contains('#'));
+        // Labels aligned.
+        assert!(lines[0].starts_with("a  |"));
+        assert!(lines[1].starts_with("bb |"));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn bar_chart_rejects_negative() {
+        bar_chart(&[("x", -1.0)], 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "too small")]
+    fn tiny_chart_rejected() {
+        line_chart(&[], 4, 2);
+    }
+}

@@ -1,0 +1,132 @@
+//! Finish-time fairness (FTF).
+//!
+//! Themis (NSDI '20) defines the fairness of a job's outcome as
+//! `ρ_j = (f_j − a_j) / (f_j^isolated − a_j)`: the ratio of its shared-
+//! cluster completion time to the completion time it would see with an
+//! exclusive `1/n` slice of the cluster (`n` = number of jobs sharing it).
+//! `ρ ≤ 1` means the job did at least as well as its fair share; the paper
+//! compares schedulers on the average ρ (Fig. 5), lower being better.
+
+use hadar_cluster::Cluster;
+use hadar_workload::Job;
+
+/// The completion time a job would achieve with an exclusive `1/n` share of
+/// the cluster.
+///
+/// With a `1/n` time-slice of every GPU, the job's best achievable average
+/// rate is `1/n` of its best full-cluster rate (all `W_j` workers on its
+/// fastest type, assuming the cluster holds at least `W_j` of it; otherwise
+/// the best feasible mixed placement bottlenecked by its slowest used type).
+/// Hence `f^isolated − a_j = n · E_jN_j / rate_best`.
+pub fn isolated_finish_time(job: &Job, cluster: &Cluster, n_jobs: usize) -> f64 {
+    assert!(n_jobs >= 1);
+    let rate = best_full_cluster_rate(job, cluster);
+    if rate <= 0.0 {
+        return f64::INFINITY;
+    }
+    n_jobs as f64 * job.total_iterations() / rate
+}
+
+/// The job's best aggregate rate given the cluster's type inventory: fill
+/// `W_j` workers from the fastest types first; the bottleneck is the slowest
+/// type actually used (Eq. 1b).
+pub fn best_full_cluster_rate(job: &Job, cluster: &Cluster) -> f64 {
+    let mut remaining = job.gang;
+    let mut slowest_used = f64::INFINITY;
+    for r in job.profile.types_by_preference() {
+        let avail = cluster.total_of_type(r);
+        if avail == 0 {
+            continue;
+        }
+        let take = remaining.min(avail);
+        if take > 0 {
+            slowest_used = slowest_used.min(job.profile.rate(r));
+            remaining -= take;
+        }
+        if remaining == 0 {
+            break;
+        }
+    }
+    if remaining > 0 || !slowest_used.is_finite() {
+        0.0 // cluster cannot host the gang at all
+    } else {
+        job.gang as f64 * slowest_used
+    }
+}
+
+/// Finish-time fairness ρ of one job outcome.
+///
+/// `jct` is the observed `f_j − a_j`. Returns `ρ = jct / isolated_jct`.
+pub fn finish_time_fairness(job: &Job, cluster: &Cluster, n_jobs: usize, jct: f64) -> f64 {
+    assert!(jct >= 0.0 && jct.is_finite(), "JCT must be finite");
+    let iso = isolated_finish_time(job, cluster, n_jobs);
+    if iso.is_infinite() {
+        return 0.0; // job could never run in isolation either; treat as fair
+    }
+    jct / iso
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hadar_cluster::JobId;
+    use hadar_workload::DlTask;
+
+    fn cluster() -> Cluster {
+        Cluster::paper_simulation() // 20 × V100, 20 × P100, 20 × K80
+    }
+
+    fn job(gang: u32, epochs: u64) -> Job {
+        Job::for_model(
+            JobId(0),
+            DlTask::ResNet18,
+            cluster().catalog(),
+            0.0,
+            gang,
+            epochs,
+        )
+    }
+
+    #[test]
+    fn best_rate_uses_fastest_type_when_available() {
+        let j = job(4, 10);
+        // ResNet-18 on V100 = 120 it/s; 4 workers fit in 20 V100s.
+        assert_eq!(best_full_cluster_rate(&j, &cluster()), 480.0);
+    }
+
+    #[test]
+    fn best_rate_bottlenecks_on_mixed_fill() {
+        // Gang of 30 > 20 V100s: spills onto P100 (70 it/s) → bottleneck 70.
+        let j = job(30, 10);
+        assert_eq!(best_full_cluster_rate(&j, &cluster()), 30.0 * 70.0);
+    }
+
+    #[test]
+    fn best_rate_zero_when_gang_cannot_fit() {
+        let j = job(100, 10); // 100 > 60 total GPUs
+        assert_eq!(best_full_cluster_rate(&j, &cluster()), 0.0);
+    }
+
+    #[test]
+    fn isolated_time_scales_with_n() {
+        let j = job(2, 10);
+        let c = cluster();
+        let t1 = isolated_finish_time(&j, &c, 1);
+        let t4 = isolated_finish_time(&j, &c, 4);
+        assert!((t4 / t1 - 4.0).abs() < 1e-12);
+        // n=1: exclusive cluster at best rate = min_runtime.
+        assert!((t1 - j.min_runtime()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rho_is_one_for_exactly_fair_outcome() {
+        let j = job(2, 10);
+        let c = cluster();
+        let iso = isolated_finish_time(&j, &c, 8);
+        let rho = finish_time_fairness(&j, &c, 8, iso);
+        assert!((rho - 1.0).abs() < 1e-12);
+        // Finishing twice as fast as fair share → ρ = 0.5.
+        let rho_fast = finish_time_fairness(&j, &c, 8, iso / 2.0);
+        assert!((rho_fast - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,33 @@
+#![warn(missing_docs)]
+
+//! # hadar-metrics
+//!
+//! Metrics and reporting for scheduler evaluation (§IV of the paper):
+//!
+//! * [`stats`] — summary statistics (mean/median/percentiles/min-max) and
+//!   empirical CDFs (the Fig. 3 "accumulative fraction of jobs completed"
+//!   series),
+//! * [`ftf`] — finish-time fairness (Themis' ρ metric, used in Fig. 5),
+//! * [`report`] — plain-text table rendering for experiment binaries,
+//! * [`csv`] — small CSV writer used by the experiment harness (kept
+//!   dependency-free; see DESIGN.md §8 for why serde is not used).
+
+//!
+//! ```
+//! use hadar_metrics::SummaryStats;
+//! let s = SummaryStats::of(&[1.0, 2.0, 3.0, 4.0]);
+//! assert_eq!(s.median, 2.5);
+//! assert_eq!(s.max, 4.0);
+//! ```
+
+pub mod chart;
+pub mod csv;
+pub mod ftf;
+pub mod report;
+pub mod stats;
+
+pub use chart::{bar_chart, line_chart};
+pub use csv::CsvWriter;
+pub use ftf::{finish_time_fairness, isolated_finish_time};
+pub use report::Table;
+pub use stats::{cdf_points, SummaryStats};

@@ -1,0 +1,191 @@
+//! Summary statistics and empirical CDFs.
+
+/// Summary statistics over a sample of non-negative measurements
+/// (JCTs, queuing delays, …).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SummaryStats {
+    /// Sample size.
+    pub count: usize,
+    /// Arithmetic mean (0.0 for an empty sample).
+    pub mean: f64,
+    /// Median (p50).
+    pub median: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// Sample standard deviation (0.0 for fewer than two samples).
+    pub stddev: f64,
+}
+
+impl SummaryStats {
+    /// Compute statistics over `values`. NaNs are rejected.
+    ///
+    /// # Panics
+    /// Panics if any value is NaN.
+    pub fn of(values: &[f64]) -> Self {
+        assert!(
+            values.iter().all(|v| !v.is_nan()),
+            "NaN in metric sample"
+        );
+        if values.is_empty() {
+            return Self {
+                count: 0,
+                mean: 0.0,
+                median: 0.0,
+                min: 0.0,
+                max: 0.0,
+                p95: 0.0,
+                stddev: 0.0,
+            };
+        }
+        let mut sorted = values.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        let n = sorted.len();
+        let mean = sorted.iter().sum::<f64>() / n as f64;
+        let var = if n > 1 {
+            sorted.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (n - 1) as f64
+        } else {
+            0.0
+        };
+        Self {
+            count: n,
+            mean,
+            median: percentile_sorted(&sorted, 50.0),
+            min: sorted[0],
+            max: sorted[n - 1],
+            p95: percentile_sorted(&sorted, 95.0),
+            stddev: var.sqrt(),
+        }
+    }
+}
+
+/// Linear-interpolated percentile of a sorted slice, `p ∈ [0, 100]`.
+///
+/// # Panics
+/// Panics on an empty slice or out-of-range `p`.
+pub fn percentile_sorted(sorted: &[f64], p: f64) -> f64 {
+    assert!(!sorted.is_empty(), "percentile of empty sample");
+    assert!((0.0..=100.0).contains(&p), "percentile out of range");
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+}
+
+/// Empirical CDF of completion times: returns `(time, fraction)` step points
+/// — for each distinct completion time, the cumulative fraction of samples
+/// completed by then. This is the Fig. 3 series ("accumulative fraction of
+/// jobs completed along the timeline").
+pub fn cdf_points(completion_times: &[f64]) -> Vec<(f64, f64)> {
+    if completion_times.is_empty() {
+        return Vec::new();
+    }
+    let mut sorted = completion_times.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in CDF input"));
+    let n = sorted.len() as f64;
+    let mut out: Vec<(f64, f64)> = Vec::new();
+    for (i, t) in sorted.iter().enumerate() {
+        let frac = (i + 1) as f64 / n;
+        match out.last_mut() {
+            Some(last) if last.0 == *t => last.1 = frac,
+            _ => out.push((*t, frac)),
+        }
+    }
+    out
+}
+
+/// Sample a CDF at evenly spaced time points (for fixed-grid figure output):
+/// returns the completed fraction at each of `steps + 1` points spanning
+/// `[0, horizon]`.
+pub fn cdf_on_grid(completion_times: &[f64], horizon: f64, steps: usize) -> Vec<(f64, f64)> {
+    assert!(horizon > 0.0 && steps > 0);
+    let pts = cdf_points(completion_times);
+    (0..=steps)
+        .map(|i| {
+            let t = horizon * i as f64 / steps as f64;
+            // Last CDF point at or before t.
+            let frac = pts
+                .iter()
+                .take_while(|(pt, _)| *pt <= t)
+                .last()
+                .map_or(0.0, |&(_, f)| f);
+            (t, frac)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_known_sample() {
+        let s = SummaryStats::of(&[4.0, 1.0, 3.0, 2.0]);
+        assert_eq!(s.count, 4);
+        assert!((s.mean - 2.5).abs() < 1e-12);
+        assert!((s.median - 2.5).abs() < 1e-12);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        // Sample stddev of 1..4 = sqrt(5/3).
+        assert!((s.stddev - (5.0f64 / 3.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_of_empty_and_singleton() {
+        let e = SummaryStats::of(&[]);
+        assert_eq!(e.count, 0);
+        assert_eq!(e.mean, 0.0);
+        let s = SummaryStats::of(&[7.0]);
+        assert_eq!(s.median, 7.0);
+        assert_eq!(s.p95, 7.0);
+        assert_eq!(s.stddev, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn summary_rejects_nan() {
+        SummaryStats::of(&[1.0, f64::NAN]);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let v = [10.0, 20.0, 30.0, 40.0];
+        assert_eq!(percentile_sorted(&v, 0.0), 10.0);
+        assert_eq!(percentile_sorted(&v, 100.0), 40.0);
+        assert!((percentile_sorted(&v, 50.0) - 25.0).abs() < 1e-12);
+        assert!((percentile_sorted(&v, 25.0) - 17.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_ends_at_one() {
+        let pts = cdf_points(&[3.0, 1.0, 2.0, 2.0]);
+        assert_eq!(pts.len(), 3); // distinct times 1, 2, 3
+        assert!(pts.windows(2).all(|w| w[0].0 < w[1].0 && w[0].1 <= w[1].1));
+        assert_eq!(pts.last().unwrap().1, 1.0);
+        // Duplicate time 2.0 collapses to its final fraction 0.75.
+        assert_eq!(pts[1], (2.0, 0.75));
+    }
+
+    #[test]
+    fn cdf_grid_sampling() {
+        let g = cdf_on_grid(&[1.0, 3.0], 4.0, 4);
+        assert_eq!(g.len(), 5);
+        assert_eq!(g[0], (0.0, 0.0));
+        assert_eq!(g[1], (1.0, 0.5));
+        assert_eq!(g[2], (2.0, 0.5));
+        assert_eq!(g[3], (3.0, 1.0));
+        assert_eq!(g[4], (4.0, 1.0));
+    }
+
+    #[test]
+    fn cdf_of_empty_is_empty() {
+        assert!(cdf_points(&[]).is_empty());
+    }
+}

@@ -1,0 +1,566 @@
+//! The round-based simulation engine.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+use hadar_cluster::{Cluster, CommCostModel, JobId, JobPlacement};
+use hadar_workload::Job;
+
+use crate::checkpoint::PreemptionPenalty;
+use crate::event::SimEvent;
+use crate::scheduler::{JobState, Scheduler, SchedulerContext};
+use crate::stats::{JobRecord, RoundRecord, SimOutcome};
+use crate::straggler::{StragglerModel, StragglerState};
+
+/// Simulation parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct SimConfig {
+    /// Scheduling-round length `L` in seconds (paper default: 6 minutes).
+    pub round_length: f64,
+    /// Penalty charged to a job whose allocation changed.
+    pub penalty: PreemptionPenalty,
+    /// Cross-server communication model.
+    pub comm: CommCostModel,
+    /// Hard cap on simulated rounds (safety net against livelock; a run
+    /// hitting the cap is reported with `timed_out = true`).
+    pub max_rounds: u64,
+    /// Optional per-machine straggler injection.
+    pub straggler: Option<StragglerModel>,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self {
+            round_length: 360.0,
+            penalty: PreemptionPenalty::default(),
+            comm: CommCostModel::default(),
+            max_rounds: 1_000_000,
+            straggler: None,
+        }
+    }
+}
+
+/// A configured simulation: cluster + trace + parameters.
+///
+/// Consume with [`Simulation::run`].
+#[derive(Debug, Clone)]
+pub struct Simulation {
+    cluster: Cluster,
+    jobs: Vec<Job>,
+    config: SimConfig,
+}
+
+impl Simulation {
+    /// Build a simulation. Jobs are admitted in arrival order; ids must be
+    /// dense `0..n` (as produced by the trace generator).
+    ///
+    /// # Panics
+    /// Panics if job ids are not dense `0..n`.
+    pub fn new(cluster: Cluster, mut jobs: Vec<Job>, config: SimConfig) -> Self {
+        jobs.sort_by(|a, b| {
+            a.arrival
+                .partial_cmp(&b.arrival)
+                .expect("finite arrivals")
+                .then(a.id.cmp(&b.id))
+        });
+        let mut seen = vec![false; jobs.len()];
+        for j in &jobs {
+            assert!(
+                j.id.index() < jobs.len() && !seen[j.id.index()],
+                "job ids must be dense 0..n"
+            );
+            seen[j.id.index()] = true;
+        }
+        Self {
+            cluster,
+            jobs,
+            config,
+        }
+    }
+
+    /// The configured cluster.
+    pub fn cluster(&self) -> &Cluster {
+        &self.cluster
+    }
+
+    /// Run to completion (or the round cap) under `scheduler`.
+    pub fn run<S: Scheduler>(self, mut scheduler: S) -> SimOutcome {
+        let Simulation {
+            cluster,
+            jobs,
+            config,
+        } = self;
+        let num_jobs = jobs.len();
+        let round = config.round_length;
+        assert!(round > 0.0, "round length must be positive");
+
+        // Records indexed by job id.
+        let mut records: Vec<Option<JobRecord>> = vec![None; num_jobs];
+        let mut active: Vec<JobState> = Vec::new();
+        let mut pending = jobs.into_iter().peekable();
+        let mut rounds: Vec<RoundRecord> = Vec::new();
+        let mut time = 0.0f64;
+        let mut completed = 0usize;
+        let mut timed_out = false;
+        let mut round_no = 0u64;
+        let mut stragglers = StragglerState::new(config.straggler, cluster.num_machines());
+        let mut events: Vec<SimEvent> = Vec::new();
+
+        while completed < num_jobs {
+            if round_no >= config.max_rounds {
+                timed_out = true;
+                break;
+            }
+            round_no += 1;
+
+            // Admit arrivals. If the queue is idle, fast-forward to the next
+            // arrival's round boundary instead of spinning empty rounds.
+            if active.is_empty() {
+                if let Some(next) = pending.peek() {
+                    if next.arrival > time {
+                        time = (next.arrival / round).floor() * round;
+                    }
+                }
+            }
+            // A job arriving exactly at the round boundary is admitted; one
+            // arriving mid-round waits for the next boundary.
+            while pending
+                .peek()
+                .is_some_and(|j| j.arrival <= time + f64::EPSILON * time.max(1.0))
+            {
+                let job = pending.next().expect("peeked");
+                scheduler.on_arrival(&job);
+                events.push(SimEvent::Arrival { time, job: job.id });
+                records[job.id.index()] = Some(JobRecord {
+                    job: job.clone(),
+                    first_scheduled: None,
+                    finish: None,
+                    rounds_run: 0,
+                    reallocations: 0,
+                });
+                active.push(JobState::new(job));
+            }
+
+            // Advance the straggler process, then ask the policy for this
+            // round's allocation.
+            let machine_factors = stragglers.step().to_vec();
+            let ctx = SchedulerContext {
+                time,
+                round_length: round,
+                cluster: &cluster,
+                jobs: &active,
+                comm: &config.comm,
+                machine_factors: &machine_factors,
+            };
+            let t0 = Instant::now();
+            let allocation = scheduler.schedule(&ctx);
+            let decision_seconds = t0.elapsed().as_secs_f64();
+
+            // Validate: capacity, gang sizes, and that only queued jobs are
+            // scheduled. A violation is a policy bug — fail loudly.
+            let gang: HashMap<JobId, u32> =
+                active.iter().map(|s| (s.job.id, s.job.gang)).collect();
+            for (id, _) in allocation.iter() {
+                assert!(
+                    gang.contains_key(&id),
+                    "{}: allocated unknown/finished job {id}",
+                    scheduler.name()
+                );
+            }
+            if let Err(e) = allocation.validate(&cluster, |id| gang[&id]) {
+                panic!("{}: invalid allocation: {e}", scheduler.name());
+            }
+
+            // Advance every active job.
+            let demand_gpus: u32 = active.iter().map(|s| s.job.gang).sum();
+            let mut busy_gpu_seconds = 0.0;
+            let mut held_gpu_seconds = 0.0;
+            let mut reallocations = 0u32;
+            let mut running_jobs = 0u32;
+            let mut finished: Vec<JobId> = Vec::new();
+            let mut completions: Vec<SimEvent> = Vec::new();
+
+            for state in active.iter_mut() {
+                let new_placement = allocation
+                    .get(state.job.id)
+                    .cloned()
+                    .unwrap_or_else(JobPlacement::empty);
+                let changed = new_placement != state.placement;
+                if new_placement.is_empty() {
+                    if changed {
+                        events.push(SimEvent::Preempted {
+                            time,
+                            job: state.job.id,
+                        });
+                    }
+                    state.placement = new_placement;
+                    continue;
+                }
+                if changed {
+                    if state.first_scheduled.is_none() {
+                        events.push(SimEvent::Started {
+                            time,
+                            job: state.job.id,
+                            workers: new_placement.total_workers(),
+                            machines: new_placement.num_machines(),
+                        });
+                    } else {
+                        events.push(SimEvent::Migrated {
+                            time,
+                            job: state.job.id,
+                            machines: new_placement.num_machines(),
+                        });
+                    }
+                }
+                running_jobs += 1;
+                let rec = records[state.job.id.index()]
+                    .as_mut()
+                    .expect("active job has a record");
+                rec.rounds_run += 1;
+                if changed {
+                    rec.reallocations += 1;
+                    reallocations += 1;
+                }
+                if state.first_scheduled.is_none() {
+                    state.first_scheduled = Some(time);
+                    rec.first_scheduled = Some(time);
+                }
+
+                let penalty = if changed {
+                    config.penalty.seconds(state.job.model)
+                } else {
+                    0.0
+                };
+                let eff = (round - penalty).max(0.0);
+                let workers = new_placement.total_workers() as f64;
+                held_gpu_seconds += workers * round;
+
+                let rate = job_rate_full(
+                    &state.job,
+                    &new_placement,
+                    &config.comm,
+                    &machine_factors,
+                    cluster.racks(),
+                );
+                if rate > 0.0 && eff > 0.0 {
+                    let capacity_iters = rate * eff;
+                    let work_time = if capacity_iters >= state.remaining_iters {
+                        // Completes mid-round.
+                        let t = state.remaining_iters / rate;
+                        rec.finish = Some(time + penalty + t);
+                        state.remaining_iters = 0.0;
+                        finished.push(state.job.id);
+                        completions.push(SimEvent::Completed {
+                            time: time + penalty + t,
+                            job: state.job.id,
+                        });
+                        t
+                    } else {
+                        state.remaining_iters -= capacity_iters;
+                        eff
+                    };
+                    state.service_seconds += work_time;
+                    // Useful compute: a worker on a fast type in a mixed
+                    // gang idles at the synchronization barrier while the
+                    // bottleneck type catches up — weight its busy time by
+                    // bottleneck/X_r (straggler factors included).
+                    let factor_of = |h: hadar_cluster::MachineId| -> f64 {
+                        machine_factors.get(h.index()).copied().unwrap_or(1.0)
+                    };
+                    let bottleneck = new_placement
+                        .bottleneck_rate_per_slice(|h, r| {
+                            state.job.profile.rate(r) * factor_of(h)
+                        })
+                        .expect("non-empty placement with positive rate");
+                    for sl in new_placement.slices() {
+                        let x = state.job.profile.rate(sl.gpu) * factor_of(sl.machine);
+                        let weight = if x > 0.0 { bottleneck / x } else { 0.0 };
+                        busy_gpu_seconds += sl.count as f64 * work_time * weight;
+                    }
+                }
+                state.placement = new_placement;
+            }
+
+            rounds.push(RoundRecord {
+                time,
+                busy_gpu_seconds,
+                held_gpu_seconds,
+                decision_seconds,
+                reallocations,
+                running_jobs,
+                demand_gpus,
+            });
+
+            completions.sort_by(|a, b| {
+                a.time()
+                    .partial_cmp(&b.time())
+                    .expect("finite event times")
+            });
+            events.extend(completions);
+            for id in &finished {
+                scheduler.on_completion(*id);
+            }
+            completed += finished.len();
+            active.retain(|s| s.remaining_iters > 0.0);
+            time += round;
+        }
+
+        let records = records
+            .into_iter()
+            .enumerate()
+            .map(|(i, r)| {
+                r.unwrap_or_else(|| {
+                    // Job never arrived before the cap (only on timeout).
+                    assert!(timed_out, "job {i} missing record without timeout");
+                    unreachable!("records are created on arrival; timeout leaves None")
+                })
+            })
+            .collect::<Vec<_>>();
+
+        SimOutcome::new(
+            scheduler.name().to_owned(),
+            records,
+            rounds,
+            round,
+            cluster,
+            timed_out,
+            events,
+        )
+    }
+}
+
+/// Effective aggregate rate of a job on `placement` (iterations/sec):
+/// bottleneck per-task throughput (Eq. 1b) × gang size × the communication
+/// degradation for non-consolidated placements.
+pub fn job_rate(job: &Job, placement: &JobPlacement, comm: &CommCostModel) -> f64 {
+    job_rate_with(job, placement, comm, &[])
+}
+
+/// [`job_rate`] with per-machine straggler factors applied to each task
+/// before the synchronization barrier. Machines beyond `factors` are
+/// treated as healthy (factor 1.0).
+pub fn job_rate_with(
+    job: &Job,
+    placement: &JobPlacement,
+    comm: &CommCostModel,
+    factors: &[f64],
+) -> f64 {
+    job_rate_full(job, placement, comm, factors, None)
+}
+
+/// The full rate model: straggler factors per task plus the (optionally
+/// rack-aware) communication degradation.
+pub fn job_rate_full(
+    job: &Job,
+    placement: &JobPlacement,
+    comm: &CommCostModel,
+    factors: &[f64],
+    racks: Option<&hadar_cluster::RackTopology>,
+) -> f64 {
+    let Some(bottleneck) = placement.bottleneck_rate_per_slice(|h, r| {
+        job.profile.rate(r) * factors.get(h.index()).copied().unwrap_or(1.0)
+    }) else {
+        return 0.0;
+    };
+    bottleneck
+        * placement.total_workers() as f64
+        * comm.placement_factor_racked(placement, racks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hadar_cluster::{Allocation, GpuTypeId, MachineId};
+    use hadar_workload::DlTask;
+
+    /// Schedules every queued job greedily on machine 0's V100s, FIFO,
+    /// non-preemptive — a minimal well-behaved test policy.
+    struct FifoV100;
+
+    impl Scheduler for FifoV100 {
+        fn name(&self) -> &str {
+            "FifoV100"
+        }
+        fn schedule(&mut self, ctx: &SchedulerContext<'_>) -> Allocation {
+            let mut alloc = Allocation::empty();
+            let v100 = ctx.cluster.catalog().lookup("V100").expect("V100");
+            let mut free = ctx.cluster.capacity(MachineId(0), v100);
+            for s in ctx.jobs {
+                if s.job.gang <= free {
+                    alloc.set(
+                        s.job.id,
+                        JobPlacement::single(MachineId(0), v100, s.job.gang),
+                    );
+                    free -= s.job.gang;
+                }
+            }
+            alloc
+        }
+    }
+
+    fn cluster() -> Cluster {
+        Cluster::paper_simulation()
+    }
+
+    fn small_job(id: u32, arrival: f64, gang: u32, epochs: u64) -> Job {
+        Job::for_model(
+            JobId(id),
+            DlTask::ResNet18,
+            cluster().catalog(),
+            arrival,
+            gang,
+            epochs,
+        )
+    }
+
+    fn no_penalty_config() -> SimConfig {
+        SimConfig {
+            penalty: PreemptionPenalty::None,
+            comm: CommCostModel::free(),
+            ..SimConfig::default()
+        }
+    }
+
+    #[test]
+    fn single_job_completes_at_analytic_time() {
+        // ResNet-18, 2 workers on V100: rate = 2 × 120 = 240 it/s.
+        // 100 epochs × 390 = 39 000 iters → 162.5 s.
+        let jobs = vec![small_job(0, 0.0, 2, 100)];
+        let out = Simulation::new(cluster(), jobs, no_penalty_config()).run(FifoV100);
+        assert_eq!(out.completed_jobs(), 1);
+        let jct = out.records[0].jct().unwrap();
+        assert!((jct - 162.5).abs() < 1e-6, "jct={jct}");
+        assert!(!out.timed_out);
+    }
+
+    #[test]
+    fn fixed_penalty_delays_completion() {
+        let jobs = vec![small_job(0, 0.0, 2, 100)];
+        let cfg = SimConfig {
+            penalty: PreemptionPenalty::Fixed(10.0),
+            comm: CommCostModel::free(),
+            ..SimConfig::default()
+        };
+        let out = Simulation::new(cluster(), jobs, cfg).run(FifoV100);
+        let jct = out.records[0].jct().unwrap();
+        // First allocation counts as "new" → one 10 s stall.
+        assert!((jct - 172.5).abs() < 1e-6, "jct={jct}");
+    }
+
+    #[test]
+    fn mid_round_arrival_waits_for_boundary() {
+        let jobs = vec![small_job(0, 100.0, 1, 10)];
+        let out = Simulation::new(cluster(), jobs, no_penalty_config()).run(FifoV100);
+        // Arrives at 100 s; next boundary is 360 s.
+        let first = out.records[0].first_scheduled.unwrap();
+        assert_eq!(first, 360.0);
+        assert_eq!(out.records[0].queuing_delay(), Some(260.0));
+    }
+
+    #[test]
+    fn idle_gap_fast_forwards() {
+        // Second job arrives hours later; the engine must not spin.
+        let jobs = vec![small_job(0, 0.0, 1, 1), small_job(1, 36_000.0, 1, 1)];
+        let out = Simulation::new(cluster(), jobs, no_penalty_config()).run(FifoV100);
+        assert_eq!(out.completed_jobs(), 2);
+        // Far fewer rounds than 36 000 / 360.
+        assert!(out.rounds.len() < 10, "rounds={}", out.rounds.len());
+    }
+
+    #[test]
+    fn queue_overflow_waits() {
+        // Machine 0 has 4 V100s; three 2-GPU jobs → one must wait a round.
+        let jobs = vec![
+            small_job(0, 0.0, 2, 200),
+            small_job(1, 0.0, 2, 200),
+            small_job(2, 0.0, 2, 200),
+        ];
+        let out = Simulation::new(cluster(), jobs, no_penalty_config()).run(FifoV100);
+        assert_eq!(out.completed_jobs(), 3);
+        let starts: Vec<f64> = out
+            .records
+            .iter()
+            .map(|r| r.first_scheduled.unwrap())
+            .collect();
+        assert_eq!(starts[0], 0.0);
+        assert_eq!(starts[1], 0.0);
+        assert_eq!(starts[2], 360.0);
+    }
+
+    #[test]
+    fn deterministic_outcomes() {
+        let jobs: Vec<Job> = (0..6).map(|i| small_job(i, 0.0, 1, 50)).collect();
+        let a = Simulation::new(cluster(), jobs.clone(), no_penalty_config()).run(FifoV100);
+        let b = Simulation::new(cluster(), jobs, no_penalty_config()).run(FifoV100);
+        assert_eq!(a.jcts(), b.jcts());
+        assert_eq!(a.makespan(), b.makespan());
+    }
+
+    #[test]
+    fn round_cap_reports_timeout() {
+        let jobs = vec![small_job(0, 0.0, 2, 10_000)];
+        let cfg = SimConfig {
+            max_rounds: 2,
+            ..no_penalty_config()
+        };
+        let out = Simulation::new(cluster(), jobs, cfg).run(FifoV100);
+        assert!(out.timed_out);
+        assert_eq!(out.completed_jobs(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "dense")]
+    fn sparse_job_ids_rejected() {
+        let jobs = vec![small_job(5, 0.0, 1, 1)];
+        Simulation::new(cluster(), jobs, SimConfig::default());
+    }
+
+    struct OverAllocator;
+    impl Scheduler for OverAllocator {
+        fn name(&self) -> &str {
+            "Over"
+        }
+        fn schedule(&mut self, ctx: &SchedulerContext<'_>) -> Allocation {
+            let mut a = Allocation::empty();
+            // 99 GPUs on machine 0 type 0: definitely over capacity.
+            for s in ctx.jobs {
+                a.set(s.job.id, JobPlacement::single(MachineId(0), GpuTypeId(0), 99));
+            }
+            a
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid allocation")]
+    fn invalid_allocation_panics() {
+        let jobs = vec![small_job(0, 0.0, 99, 1)];
+        Simulation::new(cluster(), jobs, SimConfig::default()).run(OverAllocator);
+    }
+
+    #[test]
+    fn job_rate_applies_comm_factor() {
+        let c = cluster();
+        let job = small_job(0, 0.0, 2, 1);
+        let v100 = c.catalog().lookup("V100").unwrap();
+        let spread = JobPlacement::from_slices([
+            hadar_cluster::PlacementSlice {
+                machine: MachineId(0),
+                gpu: v100,
+                count: 1,
+            },
+            hadar_cluster::PlacementSlice {
+                machine: MachineId(1),
+                gpu: v100,
+                count: 1,
+            },
+        ]);
+        let comm = CommCostModel {
+            throughput_penalty_per_hop: 0.1,
+            price_surcharge_per_hop: 0.0,
+            rack_penalty_per_hop: 0.0,
+        };
+        let r = job_rate(&job, &spread, &comm);
+        assert!((r - 2.0 * 120.0 * 0.9).abs() < 1e-9);
+        assert_eq!(job_rate(&job, &JobPlacement::empty(), &comm), 0.0);
+    }
+}

@@ -1,0 +1,130 @@
+//! Parallel experiment execution.
+//!
+//! Figure sweeps (λ sweeps, round-length sweeps, multiple seeds) run many
+//! independent simulations; [`run_parallel`] fans them out over OS threads
+//! with `crossbeam::scope` so borrowed configuration can be shared without
+//! `'static` bounds.
+
+use crate::stats::SimOutcome;
+
+/// Run `tasks` (each producing one [`SimOutcome`]) across up to
+/// `max_threads` worker threads, preserving input order in the result.
+///
+/// Each task is a closure so callers can capture per-run configuration
+/// (seed, scheduler, round length) by move.
+pub fn run_parallel<F>(tasks: Vec<F>, max_threads: usize) -> Vec<SimOutcome>
+where
+    F: FnOnce() -> SimOutcome + Send,
+{
+    assert!(max_threads >= 1);
+    let n = tasks.len();
+    let mut results: Vec<Option<SimOutcome>> = Vec::with_capacity(n);
+    results.resize_with(n, || None);
+    if n == 0 {
+        return Vec::new();
+    }
+
+    // Work-stealing by atomic index over a shared task list.
+    let tasks: Vec<parking_lot::Mutex<Option<F>>> = tasks
+        .into_iter()
+        .map(|t| parking_lot::Mutex::new(Some(t)))
+        .collect();
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let slots: Vec<parking_lot::Mutex<Option<SimOutcome>>> =
+        results.into_iter().map(parking_lot::Mutex::new).collect();
+
+    let workers = max_threads.min(n);
+    crossbeam::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|_| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let task = tasks[i].lock().take().expect("each task taken once");
+                let outcome = task();
+                *slots[i].lock() = Some(outcome);
+            });
+        }
+    })
+    .expect("simulation worker panicked");
+
+    slots
+        .into_iter()
+        .map(|m| m.into_inner().expect("every slot filled"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{SimConfig, Simulation};
+    use crate::scheduler::{Scheduler, SchedulerContext};
+    use hadar_cluster::{Allocation, Cluster, JobPlacement, MachineId};
+    use hadar_workload::{Job, JobId};
+
+    struct Fifo;
+    impl Scheduler for Fifo {
+        fn name(&self) -> &str {
+            "Fifo"
+        }
+        fn schedule(&mut self, ctx: &SchedulerContext<'_>) -> Allocation {
+            let mut alloc = Allocation::empty();
+            let v100 = ctx.cluster.catalog().lookup("V100").unwrap();
+            let mut free = ctx.cluster.capacity(MachineId(0), v100);
+            for s in ctx.jobs {
+                if s.job.gang <= free {
+                    alloc.set(
+                        s.job.id,
+                        JobPlacement::single(MachineId(0), v100, s.job.gang),
+                    );
+                    free -= s.job.gang;
+                }
+            }
+            alloc
+        }
+    }
+
+    fn one_sim(epochs: u64) -> SimOutcome {
+        let cluster = Cluster::paper_simulation();
+        let jobs = vec![Job::for_model(
+            JobId(0),
+            hadar_workload::DlTask::ResNet18,
+            cluster.catalog(),
+            0.0,
+            1,
+            epochs,
+        )];
+        Simulation::new(cluster, jobs, SimConfig::default()).run(Fifo)
+    }
+
+    #[test]
+    fn parallel_results_preserve_order() {
+        let tasks: Vec<Box<dyn FnOnce() -> SimOutcome + Send>> = (1..=6)
+            .map(|i| {
+                Box::new(move || one_sim(i * 50)) as Box<dyn FnOnce() -> SimOutcome + Send>
+            })
+            .collect();
+        let out = run_parallel(tasks, 3);
+        assert_eq!(out.len(), 6);
+        // Larger epoch counts finish later: JCTs must be non-decreasing in
+        // input order.
+        let jcts: Vec<f64> = out.iter().map(|o| o.mean_jct()).collect();
+        assert!(jcts.windows(2).all(|w| w[0] <= w[1]), "{jcts:?}");
+    }
+
+    #[test]
+    fn empty_task_list() {
+        let tasks: Vec<Box<dyn FnOnce() -> SimOutcome + Send>> = Vec::new();
+        assert!(run_parallel(tasks, 4).is_empty());
+    }
+
+    #[test]
+    fn single_thread_works() {
+        let tasks: Vec<Box<dyn FnOnce() -> SimOutcome + Send>> =
+            vec![Box::new(|| one_sim(10))];
+        let out = run_parallel(tasks, 1);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].completed_jobs(), 1);
+    }
+}

@@ -1,0 +1,215 @@
+//! Straggler injection (§IV-A-1: Hadar's "awareness of straggling tasks and
+//! the strategic task allocation policy").
+//!
+//! Real clusters exhibit transient per-machine slowdowns — thermal
+//! throttling, PCIe contention, noisy neighbours on the storage path. The
+//! model here is a two-state Markov process per machine: a healthy machine
+//! starts straggling with probability [`StragglerModel::incidence`] per
+//! round, runs all its GPUs at [`StragglerModel::slowdown`] of nominal
+//! speed, and recovers after a geometrically distributed number of rounds
+//! (mean [`StragglerModel::mean_duration_rounds`]). Evolution is driven by
+//! a dedicated seeded RNG, so simulations remain fully deterministic.
+//!
+//! The simulator multiplies each *task's* rate by its host machine's factor
+//! before the gang's synchronization barrier (Eq. 1b), so one straggling
+//! task drags the whole gang — unless the scheduler reacts. The current
+//! factors are exposed to schedulers via
+//! [`crate::SchedulerContext::machine_factors`]; Hadar folds them into its
+//! candidate evaluation and migrates off slow machines, while the
+//! heterogeneity-oblivious baselines keep paying the penalty.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of the per-machine straggler process.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StragglerModel {
+    /// Probability a healthy machine starts straggling in a given round.
+    pub incidence: f64,
+    /// Throughput multiplier while straggling (0 < slowdown ≤ 1).
+    pub slowdown: f64,
+    /// Mean straggle duration in rounds (geometric recovery).
+    pub mean_duration_rounds: f64,
+    /// Seed for the straggler RNG (independent of the trace seed).
+    pub seed: u64,
+}
+
+impl Default for StragglerModel {
+    fn default() -> Self {
+        Self {
+            incidence: 0.02,
+            slowdown: 0.4,
+            mean_duration_rounds: 5.0,
+            seed: 0,
+        }
+    }
+}
+
+impl StragglerModel {
+    fn validate(&self) {
+        assert!(
+            (0.0..=1.0).contains(&self.incidence),
+            "incidence must be a probability"
+        );
+        assert!(
+            self.slowdown > 0.0 && self.slowdown <= 1.0,
+            "slowdown must be in (0, 1]"
+        );
+        assert!(self.mean_duration_rounds >= 1.0);
+    }
+}
+
+/// Evolving straggler state for a cluster of `num_machines` machines.
+#[derive(Debug, Clone)]
+pub struct StragglerState {
+    model: Option<StragglerModel>,
+    rng: StdRng,
+    /// Remaining straggle rounds per machine (0 = healthy).
+    remaining: Vec<u32>,
+    factors: Vec<f64>,
+}
+
+impl StragglerState {
+    /// Create the state; `model = None` disables injection (all factors 1).
+    pub fn new(model: Option<StragglerModel>, num_machines: usize) -> Self {
+        if let Some(m) = &model {
+            m.validate();
+        }
+        let seed = model.map_or(0, |m| m.seed);
+        Self {
+            model,
+            rng: StdRng::seed_from_u64(seed ^ 0x5744_4C53_7472_6167),
+            remaining: vec![0; num_machines],
+            factors: vec![1.0; num_machines],
+        }
+    }
+
+    /// Advance one round and return the per-machine throughput factors.
+    pub fn step(&mut self) -> &[f64] {
+        let Some(model) = self.model else {
+            return &self.factors;
+        };
+        for (left, factor) in self.remaining.iter_mut().zip(self.factors.iter_mut()) {
+            if *left > 0 {
+                *left -= 1;
+                *factor = if *left > 0 { model.slowdown } else { 1.0 };
+            } else if self.rng.gen::<f64>() < model.incidence {
+                // Geometric duration with the configured mean, at least 1.
+                let p = 1.0 / model.mean_duration_rounds;
+                let u: f64 = self.rng.gen::<f64>().max(f64::MIN_POSITIVE);
+                let dur = ((u.ln() / (1.0 - p).ln()).ceil()).max(1.0) as u32;
+                *left = dur;
+                *factor = model.slowdown;
+            } else {
+                *factor = 1.0;
+            }
+        }
+        &self.factors
+    }
+
+    /// Current factors (without advancing).
+    pub fn factors(&self) -> &[f64] {
+        &self.factors
+    }
+
+    /// Number of machines currently straggling.
+    pub fn num_straggling(&self) -> usize {
+        self.factors.iter().filter(|&&f| f < 1.0).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_model_is_identity() {
+        let mut s = StragglerState::new(None, 4);
+        for _ in 0..10 {
+            assert!(s.step().iter().all(|&f| f == 1.0));
+        }
+        assert_eq!(s.num_straggling(), 0);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let model = StragglerModel {
+            incidence: 0.3,
+            ..StragglerModel::default()
+        };
+        let run = |seed: u64| -> Vec<Vec<f64>> {
+            let mut s = StragglerState::new(
+                Some(StragglerModel { seed, ..model }),
+                6,
+            );
+            (0..50).map(|_| s.step().to_vec()).collect()
+        };
+        assert_eq!(run(1), run(1));
+        assert_ne!(run(1), run(2));
+    }
+
+    #[test]
+    fn stragglers_occur_and_recover() {
+        let mut s = StragglerState::new(
+            Some(StragglerModel {
+                incidence: 0.5,
+                slowdown: 0.25,
+                mean_duration_rounds: 2.0,
+                seed: 3,
+            }),
+            8,
+        );
+        let mut saw_straggle = false;
+        let mut saw_recovery_after_straggle = false;
+        let mut prev_straggling = 0;
+        for _ in 0..200 {
+            s.step();
+            let now = s.num_straggling();
+            if now > 0 {
+                saw_straggle = true;
+                assert!(s.factors().iter().all(|&f| f == 1.0 || f == 0.25));
+            }
+            if prev_straggling > 0 && now < prev_straggling {
+                saw_recovery_after_straggle = true;
+            }
+            prev_straggling = now;
+        }
+        assert!(saw_straggle, "no straggle event in 200 rounds at p=0.5");
+        assert!(saw_recovery_after_straggle, "machines never recovered");
+    }
+
+    #[test]
+    fn incidence_rate_roughly_matches() {
+        let mut s = StragglerState::new(
+            Some(StragglerModel {
+                incidence: 0.1,
+                slowdown: 0.5,
+                mean_duration_rounds: 1.0,
+                seed: 9,
+            }),
+            1,
+        );
+        // With mean duration 1, the fraction of straggling rounds ≈ the
+        // incidence probability.
+        let rounds = 20_000;
+        let mut straggling = 0;
+        for _ in 0..rounds {
+            s.step();
+            straggling += s.num_straggling();
+        }
+        let frac = straggling as f64 / rounds as f64;
+        assert!((frac - 0.1).abs() < 0.02, "fraction {frac}");
+    }
+
+    #[test]
+    #[should_panic(expected = "slowdown")]
+    fn invalid_slowdown_rejected() {
+        StragglerState::new(
+            Some(StragglerModel {
+                slowdown: 0.0,
+                ..StragglerModel::default()
+            }),
+            1,
+        );
+    }
+}

@@ -1,0 +1,336 @@
+//! The Gavel policy LPs.
+//!
+//! Gavel models its heterogeneity-aware policies as optimization problems
+//! over an allocation matrix `Y[j][r] ∈ [0,1]`: the fraction of wall-clock
+//! time job `j` should spend running on GPU type `r`. Feasibility requires
+//!
+//! * `Σ_r Y[j][r] ≤ 1` for every job (a job runs on at most one type at a
+//!   time), and
+//! * `Σ_j W_j · Y[j][r] ≤ C_r` for every type (time-averaged GPU demand at
+//!   most the type's capacity).
+//!
+//! Two objectives are provided:
+//!
+//! * [`max_total_throughput_allocation`] — maximize
+//!   `Σ_j Σ_r Y[j][r] · X_j^r · W_j`, total cluster effective throughput.
+//!   This is the configuration the paper uses when comparing against Hadar
+//!   ("keeping the objective of its optimization problem similar to ours").
+//! * [`max_min_allocation`] — maximize the minimum over jobs of the
+//!   *normalized* throughput `Σ_r Y[j][r]·X_j^r / max_r X_j^r`
+//!   (Gavel's LAS/fairness policy).
+
+use crate::simplex::{LpOutcome, LpProblem, Relation};
+
+/// Input to a Gavel LP: one row per job, one column per GPU type.
+#[derive(Debug, Clone)]
+pub struct GavelLpInput {
+    /// `throughput[j][r]` = `X_j^r` iterations/sec per worker. All rows must
+    /// have the same length `R`.
+    pub throughput: Vec<Vec<f64>>,
+    /// Gang size `W_j` per job.
+    pub gang: Vec<u32>,
+    /// Cluster capacity `C_r` per type.
+    pub capacity: Vec<u32>,
+}
+
+impl GavelLpInput {
+    fn validate(&self) -> (usize, usize) {
+        let j = self.throughput.len();
+        assert_eq!(self.gang.len(), j, "gang length mismatch");
+        let r = self.capacity.len();
+        for row in &self.throughput {
+            assert_eq!(row.len(), r, "throughput row length mismatch");
+        }
+        (j, r)
+    }
+}
+
+/// Solve the max-total-effective-throughput LP. Returns `Y` as a `J×R`
+/// matrix, or `None` if the LP is infeasible/unbounded (cannot happen for
+/// well-formed inputs: `Y = 0` is always feasible and the region is
+/// bounded).
+pub fn max_total_throughput_allocation(input: &GavelLpInput) -> Option<Vec<Vec<f64>>> {
+    let (num_jobs, num_types) = input.validate();
+    if num_jobs == 0 {
+        return Some(Vec::new());
+    }
+    let var = |j: usize, r: usize| j * num_types + r;
+    let mut p = LpProblem::maximize(num_jobs * num_types);
+    for (j, row) in input.throughput.iter().enumerate() {
+        for (r, &x) in row.iter().enumerate() {
+            p.set_objective(var(j, r), x * input.gang[j] as f64);
+        }
+    }
+    add_feasibility_constraints(&mut p, input, var, num_jobs, num_types);
+    extract(p.solve(), num_jobs, num_types)
+}
+
+/// Solve the max-min-normalized-throughput LP (Gavel's fairness policy).
+/// Jobs with an all-zero throughput row are excluded from the min (they can
+/// never progress) but still appear in the output with a zero row.
+pub fn max_min_allocation(input: &GavelLpInput) -> Option<Vec<Vec<f64>>> {
+    let (num_jobs, num_types) = input.validate();
+    if num_jobs == 0 {
+        return Some(Vec::new());
+    }
+    // Variable 0 is z; Y[j][r] follows.
+    let var = |j: usize, r: usize| 1 + j * num_types + r;
+    let mut p = LpProblem::maximize(1 + num_jobs * num_types);
+    p.set_objective(0, 1.0);
+    for (j, row) in input.throughput.iter().enumerate() {
+        let norm = row.iter().copied().fold(0.0, f64::max);
+        if norm <= 0.0 {
+            continue;
+        }
+        // Σ_r Y_jr · X_jr / norm − z ≥ 0.
+        let mut coeffs: Vec<(usize, f64)> = row
+            .iter()
+            .enumerate()
+            .map(|(r, &x)| (var(j, r), x / norm))
+            .collect();
+        coeffs.push((0, -1.0));
+        p.add_constraint(coeffs, Relation::Ge, 0.0);
+    }
+    add_feasibility_constraints(&mut p, input, var, num_jobs, num_types);
+    match p.solve() {
+        LpOutcome::Optimal(s) => {
+            let mut y = vec![vec![0.0; num_types]; num_jobs];
+            for (j, row) in y.iter_mut().enumerate() {
+                for (r, v) in row.iter_mut().enumerate() {
+                    *v = s.x[var(j, r)].clamp(0.0, 1.0);
+                }
+            }
+            Some(y)
+        }
+        _ => None,
+    }
+}
+
+fn add_feasibility_constraints(
+    p: &mut LpProblem,
+    input: &GavelLpInput,
+    var: impl Fn(usize, usize) -> usize,
+    num_jobs: usize,
+    num_types: usize,
+) {
+    // Per-job time budget.
+    for j in 0..num_jobs {
+        let coeffs = (0..num_types).map(|r| (var(j, r), 1.0)).collect();
+        p.add_constraint(coeffs, Relation::Le, 1.0);
+    }
+    // Per-type capacity.
+    for r in 0..num_types {
+        let coeffs = (0..num_jobs)
+            .map(|j| (var(j, r), input.gang[j] as f64))
+            .collect();
+        p.add_constraint(coeffs, Relation::Le, input.capacity[r] as f64);
+    }
+}
+
+fn extract(outcome: LpOutcome, num_jobs: usize, num_types: usize) -> Option<Vec<Vec<f64>>> {
+    let s = outcome.optimal()?;
+    let mut y = vec![vec![0.0; num_types]; num_jobs];
+    for (j, row) in y.iter_mut().enumerate() {
+        for (r, v) in row.iter_mut().enumerate() {
+            *v = s.x[j * num_types + r].clamp(0.0, 1.0);
+        }
+    }
+    Some(y)
+}
+
+/// Check `Y` against the feasibility constraints (used by tests and debug
+/// assertions). Returns the maximum violation.
+pub fn feasibility_violation(input: &GavelLpInput, y: &[Vec<f64>]) -> f64 {
+    let (num_jobs, num_types) = input.validate();
+    let mut worst = 0.0f64;
+    for j in 0..num_jobs {
+        let s: f64 = y[j].iter().sum();
+        worst = worst.max(s - 1.0);
+        for r in 0..num_types {
+            worst = worst.max(-y[j][r]);
+        }
+    }
+    for r in 0..num_types {
+        let demand: f64 = (0..num_jobs)
+            .map(|j| y[j][r] * input.gang[j] as f64)
+            .sum();
+        worst = worst.max(demand - input.capacity[r] as f64);
+    }
+    worst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> GavelLpInput {
+        // 2 jobs, 2 types. Job 0 loves type 0 (10 vs 1); job 1 indifferent.
+        GavelLpInput {
+            throughput: vec![vec![10.0, 1.0], vec![4.0, 4.0]],
+            gang: vec![1, 1],
+            capacity: vec![1, 1],
+        }
+    }
+
+    #[test]
+    fn total_throughput_prefers_affinity() {
+        let y = max_total_throughput_allocation(&toy()).unwrap();
+        // Optimal: job0 fully on type0 (10), job1 fully on type1 (4) → 14.
+        let total: f64 = (0..2)
+            .map(|j| (0..2).map(|r| y[j][r] * toy().throughput[j][r]).sum::<f64>())
+            .sum();
+        assert!((total - 14.0).abs() < 1e-6, "total={total}, y={y:?}");
+        assert!(feasibility_violation(&toy(), &y) < 1e-7);
+    }
+
+    #[test]
+    fn max_min_is_fair() {
+        let input = toy();
+        let y = max_min_allocation(&input).unwrap();
+        assert!(feasibility_violation(&input, &y) < 1e-7);
+        // Normalized throughputs of both jobs should be equal-ish and high.
+        let norm = |j: usize| -> f64 {
+            let m = input.throughput[j].iter().copied().fold(0.0, f64::max);
+            (0..2).map(|r| y[j][r] * input.throughput[j][r]).sum::<f64>() / m
+        };
+        let (n0, n1) = (norm(0), norm(1));
+        assert!(n0 > 0.5 && n1 > 0.5, "n0={n0} n1={n1}");
+        // Max-min optimum equalizes the minimum: both can reach 1.0 here
+        // (job0 on type0 full time, job1 on type1 full time).
+        assert!((n0.min(n1) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn capacity_binds_with_contention() {
+        // 3 single-GPU jobs all wanting the single type-0 GPU.
+        let input = GavelLpInput {
+            throughput: vec![vec![10.0], vec![10.0], vec![10.0]],
+            gang: vec![1, 1, 1],
+            capacity: vec![1],
+        };
+        let y = max_total_throughput_allocation(&input).unwrap();
+        let demand: f64 = y.iter().map(|row| row[0]).sum();
+        assert!(demand <= 1.0 + 1e-7);
+        // Total throughput = 10 × total time share = 10.
+        let total: f64 = y.iter().map(|row| row[0] * 10.0).sum();
+        assert!((total - 10.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn gang_size_weights_capacity() {
+        // One 4-GPU job on a 2-GPU type can use at most half its time.
+        let input = GavelLpInput {
+            throughput: vec![vec![8.0]],
+            gang: vec![4],
+            capacity: vec![2],
+        };
+        let y = max_total_throughput_allocation(&input).unwrap();
+        assert!((y[0][0] - 0.5).abs() < 1e-6, "y={y:?}");
+    }
+
+    #[test]
+    fn empty_input() {
+        let input = GavelLpInput {
+            throughput: vec![],
+            gang: vec![],
+            capacity: vec![2, 2],
+        };
+        assert_eq!(max_total_throughput_allocation(&input), Some(vec![]));
+        assert_eq!(max_min_allocation(&input), Some(vec![]));
+    }
+
+    #[test]
+    fn max_min_skips_unrunnable_job() {
+        let input = GavelLpInput {
+            throughput: vec![vec![0.0, 0.0], vec![5.0, 5.0]],
+            gang: vec![1, 1],
+            capacity: vec![1, 1],
+        };
+        let y = max_min_allocation(&input).unwrap();
+        // Job 0 cannot run; job 1 should still get a full share.
+        let t1: f64 = (0..2).map(|r| y[1][r] * 5.0).sum();
+        assert!(t1 > 4.9, "y={y:?}");
+    }
+
+    #[test]
+    fn paper_scale_lp_solves() {
+        // 60-GPU cluster, 48 mixed jobs: representative of a round of the
+        // paper's simulation. Must solve quickly and feasibly.
+        let mut throughput = Vec::new();
+        let mut gang = Vec::new();
+        for j in 0..48 {
+            let base = 2.0 + (j % 7) as f64;
+            throughput.push(vec![base * 10.0, base * 5.0, base]);
+            gang.push([1u32, 2, 4, 8][j % 4]);
+        }
+        let input = GavelLpInput {
+            throughput,
+            gang,
+            capacity: vec![20, 20, 20],
+        };
+        let y = max_total_throughput_allocation(&input).unwrap();
+        assert!(feasibility_violation(&input, &y) < 1e-6);
+        let ymin = max_min_allocation(&input).unwrap();
+        assert!(feasibility_violation(&input, &ymin) < 1e-6);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// On random Gavel instances the exact LP allocation is feasible and
+        /// never worse than the density greedy (which is itself feasible).
+        #[test]
+        fn exact_dominates_greedy_and_both_feasible(
+            jobs in proptest::collection::vec(
+                (proptest::collection::vec(0.0f64..30.0, 3), 1u32..=4), 1..10),
+            caps in proptest::collection::vec(1u32..8, 3),
+        ) {
+            let input = GavelLpInput {
+                throughput: jobs.iter().map(|(t, _)| t.clone()).collect(),
+                gang: jobs.iter().map(|&(_, g)| g).collect(),
+                capacity: caps,
+            };
+            let exact = match max_total_throughput_allocation(&input) {
+                Some(y) => y,
+                None => return Err(TestCaseError::fail("LP failed")),
+            };
+            let greedy = crate::greedy::greedy_total_throughput(&input);
+            prop_assert!(feasibility_violation(&input, &exact) < 1e-6);
+            prop_assert!(feasibility_violation(&input, &greedy) < 1e-6);
+            let oe = crate::greedy::total_throughput_objective(&input, &exact);
+            let og = crate::greedy::total_throughput_objective(&input, &greedy);
+            prop_assert!(oe >= og - 1e-6, "exact {oe} below greedy {og}");
+        }
+
+        /// Max-min allocations are feasible and (weakly) raise the minimum
+        /// normalized throughput compared to the total-throughput optimum.
+        #[test]
+        fn max_min_raises_the_floor(
+            jobs in proptest::collection::vec(
+                (proptest::collection::vec(0.5f64..30.0, 2), 1u32..=2), 2..6),
+        ) {
+            let input = GavelLpInput {
+                throughput: jobs.iter().map(|(t, _)| t.clone()).collect(),
+                gang: jobs.iter().map(|&(_, g)| g).collect(),
+                capacity: vec![2, 2],
+            };
+            let fair = max_min_allocation(&input).expect("feasible");
+            let total = max_total_throughput_allocation(&input).expect("feasible");
+            prop_assert!(feasibility_violation(&input, &fair) < 1e-6);
+            let floor = |y: &Vec<Vec<f64>>| -> f64 {
+                input.throughput.iter().enumerate().map(|(j, row)| {
+                    let norm = row.iter().copied().fold(0.0, f64::max);
+                    row.iter().enumerate().map(|(r, &x)| y[j][r] * x).sum::<f64>() / norm
+                }).fold(f64::INFINITY, f64::min)
+            };
+            prop_assert!(floor(&fair) >= floor(&total) - 1e-6,
+                "fair floor {} below total-throughput floor {}", floor(&fair), floor(&total));
+        }
+    }
+}

@@ -1,0 +1,146 @@
+//! Density-greedy approximation of the total-throughput transportation LP.
+//!
+//! For very large queues (the Fig. 7 scalability sweep reaches 2048 jobs)
+//! solving the exact LP every scheduling event is unnecessarily slow. The
+//! total-throughput objective has transportation structure, for which a
+//! density greedy — allocate time-shares in descending value-per-GPU order —
+//! is a strong approximation: each step is locally optimal and both
+//! constraint families are simple budgets. Tests compare it against the
+//! exact simplex optimum on random instances.
+
+use crate::gavel::GavelLpInput;
+
+/// Greedy approximation to [`crate::max_total_throughput_allocation`].
+///
+/// Returns a feasible `Y` (never violates the job-time or capacity budgets).
+pub fn greedy_total_throughput(input: &GavelLpInput) -> Vec<Vec<f64>> {
+    let num_jobs = input.throughput.len();
+    let num_types = input.capacity.len();
+    let mut y = vec![vec![0.0f64; num_types]; num_jobs];
+    if num_jobs == 0 {
+        return y;
+    }
+
+    // Candidate (j, r) pairs sorted by throughput-per-GPU density, i.e.
+    // value of one unit of Y weighted by how much capacity it consumes.
+    let mut order: Vec<(usize, usize, f64)> = Vec::with_capacity(num_jobs * num_types);
+    for (j, row) in input.throughput.iter().enumerate() {
+        for (r, &x) in row.iter().enumerate() {
+            if x > 0.0 {
+                // Value of Y_jr = x * W_j; capacity consumed = W_j per unit.
+                // Density = value / capacity = x. Jobs with higher raw
+                // per-worker throughput on a type use it first.
+                order.push((j, r, x));
+            }
+        }
+    }
+    order.sort_by(|a, b| b.2.partial_cmp(&a.2).expect("finite throughput"));
+
+    let mut job_budget = vec![1.0f64; num_jobs];
+    let mut cap_left: Vec<f64> = input.capacity.iter().map(|&c| c as f64).collect();
+
+    for (j, r, _) in order {
+        let w = input.gang[j] as f64;
+        if w <= 0.0 {
+            continue;
+        }
+        let take = job_budget[j].min(cap_left[r] / w);
+        if take > 1e-12 {
+            y[j][r] += take;
+            job_budget[j] -= take;
+            cap_left[r] -= take * w;
+        }
+    }
+    y
+}
+
+/// Objective value `Σ_jr Y_jr · X_jr · W_j` of an allocation matrix.
+pub fn total_throughput_objective(input: &GavelLpInput, y: &[Vec<f64>]) -> f64 {
+    y.iter()
+        .enumerate()
+        .map(|(j, row)| {
+            row.iter()
+                .enumerate()
+                .map(|(r, &v)| v * input.throughput[j][r] * input.gang[j] as f64)
+                .sum::<f64>()
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gavel::{feasibility_violation, max_total_throughput_allocation};
+
+    #[test]
+    fn greedy_is_feasible() {
+        let input = GavelLpInput {
+            throughput: vec![vec![10.0, 2.0], vec![6.0, 5.0], vec![1.0, 1.0]],
+            gang: vec![2, 1, 4],
+            capacity: vec![2, 2],
+        };
+        let y = greedy_total_throughput(&input);
+        assert!(feasibility_violation(&input, &y) < 1e-9, "y={y:?}");
+    }
+
+    #[test]
+    fn greedy_matches_exact_on_uncontended_instance() {
+        // Plenty of capacity: everyone gets full share of their best type.
+        let input = GavelLpInput {
+            throughput: vec![vec![10.0, 2.0], vec![3.0, 7.0]],
+            gang: vec![1, 1],
+            capacity: vec![10, 10],
+        };
+        let g = greedy_total_throughput(&input);
+        let exact = max_total_throughput_allocation(&input).unwrap();
+        let og = total_throughput_objective(&input, &g);
+        let oe = total_throughput_objective(&input, &exact);
+        assert!((og - oe).abs() < 1e-6, "greedy {og} vs exact {oe}");
+    }
+
+    #[test]
+    fn greedy_near_exact_on_random_instances() {
+        // Deterministic pseudo-random instances; greedy should be within a
+        // modest factor of the LP optimum (it is near-exact in practice).
+        let mut state = 0x9E3779B97F4A7C15u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        for trial in 0..20 {
+            let j = 3 + trial % 8;
+            let r = 2 + trial % 3;
+            let throughput: Vec<Vec<f64>> = (0..j)
+                .map(|_| (0..r).map(|_| 1.0 + 20.0 * next()).collect())
+                .collect();
+            let gang: Vec<u32> = (0..j).map(|_| 1 + (next() * 4.0) as u32).collect();
+            let capacity: Vec<u32> = (0..r).map(|_| 1 + (next() * 6.0) as u32).collect();
+            let input = GavelLpInput {
+                throughput,
+                gang,
+                capacity,
+            };
+            let g = greedy_total_throughput(&input);
+            assert!(feasibility_violation(&input, &g) < 1e-7);
+            let exact = max_total_throughput_allocation(&input).unwrap();
+            let og = total_throughput_objective(&input, &g);
+            let oe = total_throughput_objective(&input, &exact);
+            assert!(
+                og >= 0.75 * oe - 1e-9,
+                "trial {trial}: greedy {og} far below exact {oe}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_instance() {
+        let input = GavelLpInput {
+            throughput: vec![],
+            gang: vec![],
+            capacity: vec![3],
+        };
+        assert!(greedy_total_throughput(&input).is_empty());
+    }
+}

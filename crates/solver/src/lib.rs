@@ -1,0 +1,44 @@
+#![warn(missing_docs)]
+
+//! # hadar-solver
+//!
+//! Linear-programming machinery for the Hadar workspace.
+//!
+//! The Gavel baseline (Narayanan et al., OSDI '20) computes its allocation
+//! matrix `Y[j][r]` — the fraction of time job `j` should spend on GPU type
+//! `r` — by solving a linear program. The original system delegates to
+//! cvxpy; no equivalent crate is assumed available offline, so this crate
+//! implements the needed pieces from scratch:
+//!
+//! * [`simplex`] — a dense two-phase primal simplex solver for general LPs
+//!   (`max c·x, A x {≤,=,≥} b, x ≥ 0`) with Dantzig pricing and Bland's
+//!   anti-cycling fallback,
+//! * [`gavel`] — builders for the two Gavel policy LPs used in the paper's
+//!   evaluation: *maximize total effective throughput* (the objective the
+//!   paper configures "similar to ours") and *max-min normalized throughput*
+//!   (Gavel's fairness policy),
+//! * [`greedy`] — a density-greedy approximation for the total-throughput
+//!   transportation LP, used as a fast fallback when hundreds of jobs are
+//!   active (the exact LP is still used for every final-figure experiment at
+//!   moderate scale, and the greedy is validated against it in tests).
+
+//!
+//! ```
+//! use hadar_solver::{LpProblem, Relation};
+//! // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18.
+//! let mut p = LpProblem::maximize(2);
+//! p.set_objective(0, 3.0).set_objective(1, 5.0);
+//! p.add_constraint(vec![(0, 1.0)], Relation::Le, 4.0);
+//! p.add_constraint(vec![(1, 2.0)], Relation::Le, 12.0);
+//! p.add_constraint(vec![(0, 3.0), (1, 2.0)], Relation::Le, 18.0);
+//! let s = p.solve().optimal().unwrap();
+//! assert!((s.objective - 36.0).abs() < 1e-7);
+//! ```
+
+pub mod gavel;
+pub mod greedy;
+pub mod simplex;
+
+pub use gavel::{max_min_allocation, max_total_throughput_allocation, GavelLpInput};
+pub use greedy::greedy_total_throughput;
+pub use simplex::{Constraint, LpOutcome, LpProblem, LpSolution, Relation};

@@ -1,0 +1,604 @@
+//! Dense two-phase primal simplex.
+//!
+//! Solves `max c·x  s.t.  A x {≤,=,≥} b,  x ≥ 0` on a dense tableau.
+//! Phase 1 minimizes the sum of artificial variables to find a feasible
+//! basis; phase 2 optimizes the real objective. Entering variables are
+//! chosen by Dantzig's rule (most negative reduced cost) with a switch to
+//! Bland's rule after an iteration budget to guarantee termination under
+//! degeneracy.
+//!
+//! Problem sizes in this workspace are moderate (a few thousand variables
+//! for the largest Fig. 7 point), for which a dense tableau is simple,
+//! cache-friendly, and fast enough.
+
+/// Comparison direction of one constraint row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Relation {
+    /// `a·x ≤ b`
+    Le,
+    /// `a·x = b`
+    Eq,
+    /// `a·x ≥ b`
+    Ge,
+}
+
+/// One constraint: sparse coefficient list, relation, right-hand side.
+#[derive(Debug, Clone)]
+pub struct Constraint {
+    /// `(variable index, coefficient)` pairs; indices must be `< num_vars`.
+    pub coeffs: Vec<(usize, f64)>,
+    /// Relation between `a·x` and `rhs`.
+    pub relation: Relation,
+    /// Right-hand side.
+    pub rhs: f64,
+}
+
+/// A linear program `max c·x` over non-negative variables.
+#[derive(Debug, Clone)]
+pub struct LpProblem {
+    num_vars: usize,
+    objective: Vec<f64>,
+    constraints: Vec<Constraint>,
+}
+
+/// Solver outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LpOutcome {
+    /// An optimal vertex was found.
+    Optimal(LpSolution),
+    /// No feasible point exists.
+    Infeasible,
+    /// The objective is unbounded above on the feasible region.
+    Unbounded,
+}
+
+/// An optimal solution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LpSolution {
+    /// Optimal variable values (length `num_vars`).
+    pub x: Vec<f64>,
+    /// Optimal objective value `c·x`.
+    pub objective: f64,
+}
+
+impl LpOutcome {
+    /// The solution if optimal, else `None`.
+    pub fn optimal(self) -> Option<LpSolution> {
+        match self {
+            LpOutcome::Optimal(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+const EPS: f64 = 1e-9;
+
+impl LpProblem {
+    /// A maximization problem over `num_vars` non-negative variables with a
+    /// zero objective.
+    pub fn maximize(num_vars: usize) -> Self {
+        Self {
+            num_vars,
+            objective: vec![0.0; num_vars],
+            constraints: Vec::new(),
+        }
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// Number of constraints added so far.
+    pub fn num_constraints(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// Set the objective coefficient of variable `i`.
+    pub fn set_objective(&mut self, i: usize, c: f64) -> &mut Self {
+        assert!(i < self.num_vars, "objective index out of range");
+        assert!(c.is_finite());
+        self.objective[i] = c;
+        self
+    }
+
+    /// Add a constraint.
+    ///
+    /// # Panics
+    /// Panics on out-of-range variable indices or non-finite numbers.
+    pub fn add_constraint(
+        &mut self,
+        coeffs: Vec<(usize, f64)>,
+        relation: Relation,
+        rhs: f64,
+    ) -> &mut Self {
+        assert!(rhs.is_finite());
+        for &(i, a) in &coeffs {
+            assert!(i < self.num_vars, "constraint index {i} out of range");
+            assert!(a.is_finite());
+        }
+        self.constraints.push(Constraint {
+            coeffs,
+            relation,
+            rhs,
+        });
+        self
+    }
+
+    /// Solve with two-phase simplex.
+    pub fn solve(&self) -> LpOutcome {
+        Tableau::build(self).solve()
+    }
+}
+
+/// Internal dense tableau.
+///
+/// Layout: `rows` of length `width = total_cols + 1`; the last entry of each
+/// row is the RHS. `basis[i]` is the column basic in row `i`.
+struct Tableau {
+    rows: Vec<Vec<f64>>,
+    /// Objective row in `z − c·x = 0` form: entry `j` holds `−c_j` initially.
+    obj: Vec<f64>,
+    basis: Vec<usize>,
+    num_structural: usize,
+    total_cols: usize,
+    artificial_start: usize,
+    original_objective: Vec<f64>,
+}
+
+impl Tableau {
+    fn build(p: &LpProblem) -> Self {
+        let m = p.constraints.len();
+        // Count slack/surplus and artificial columns.
+        let mut num_slack = 0;
+        let mut num_artificial = 0;
+        for c in &p.constraints {
+            // Normalize so RHS ≥ 0 by flipping rows with negative RHS.
+            let rel = if c.rhs < 0.0 {
+                flip(c.relation)
+            } else {
+                c.relation
+            };
+            match rel {
+                Relation::Le => num_slack += 1,
+                Relation::Ge => {
+                    num_slack += 1;
+                    num_artificial += 1;
+                }
+                Relation::Eq => num_artificial += 1,
+            }
+        }
+        let num_structural = p.num_vars;
+        let slack_start = num_structural;
+        let artificial_start = slack_start + num_slack;
+        let total_cols = artificial_start + num_artificial;
+        let width = total_cols + 1;
+
+        let mut rows = vec![vec![0.0; width]; m];
+        let mut basis = vec![usize::MAX; m];
+        let mut next_slack = slack_start;
+        let mut next_art = artificial_start;
+
+        for (i, c) in p.constraints.iter().enumerate() {
+            let sign = if c.rhs < 0.0 { -1.0 } else { 1.0 };
+            let rel = if c.rhs < 0.0 {
+                flip(c.relation)
+            } else {
+                c.relation
+            };
+            for &(j, a) in &c.coeffs {
+                rows[i][j] += sign * a; // accumulate duplicate indices
+            }
+            rows[i][total_cols] = sign * c.rhs;
+            match rel {
+                Relation::Le => {
+                    rows[i][next_slack] = 1.0;
+                    basis[i] = next_slack;
+                    next_slack += 1;
+                }
+                Relation::Ge => {
+                    rows[i][next_slack] = -1.0;
+                    next_slack += 1;
+                    rows[i][next_art] = 1.0;
+                    basis[i] = next_art;
+                    next_art += 1;
+                }
+                Relation::Eq => {
+                    rows[i][next_art] = 1.0;
+                    basis[i] = next_art;
+                    next_art += 1;
+                }
+            }
+        }
+
+        Self {
+            rows,
+            obj: vec![0.0; width],
+            basis,
+            num_structural,
+            total_cols,
+            artificial_start,
+            original_objective: p.objective.clone(),
+        }
+    }
+
+    fn solve(mut self) -> LpOutcome {
+        // Phase 1 (only if artificials exist): maximize −Σ artificials.
+        if self.artificial_start < self.total_cols {
+            self.obj = vec![0.0; self.total_cols + 1];
+            for j in self.artificial_start..self.total_cols {
+                self.obj[j] = 1.0; // z-row of "max −Σ a": −c_j = +1 for arts
+            }
+            // Make the objective row consistent with the starting basis
+            // (artificial columns are basic, so price them out).
+            for i in 0..self.rows.len() {
+                if self.basis[i] >= self.artificial_start {
+                    let row = self.rows[i].clone();
+                    for (o, r) in self.obj.iter_mut().zip(row.iter()) {
+                        *o -= r;
+                    }
+                }
+            }
+            match self.run(/*allow_artificial_entering=*/ false) {
+                RunResult::Optimal => {}
+                RunResult::Unbounded => unreachable!("phase 1 is bounded below"),
+            }
+            let phase1 = -self.obj[self.total_cols];
+            if phase1.abs() > 1e-7 {
+                return LpOutcome::Infeasible;
+            }
+            // Drive any remaining artificials out of the basis.
+            self.evict_basic_artificials();
+        }
+
+        // Phase 2: real objective.
+        self.obj = vec![0.0; self.total_cols + 1];
+        for j in 0..self.num_structural {
+            self.obj[j] = -self.original_objective[j];
+        }
+        // Price out basic structural columns.
+        for i in 0..self.rows.len() {
+            let b = self.basis[i];
+            let coef = self.obj[b];
+            if coef.abs() > EPS {
+                let row = self.rows[i].clone();
+                for (o, r) in self.obj.iter_mut().zip(row.iter()) {
+                    *o -= coef * r;
+                }
+            }
+        }
+        match self.run(false) {
+            RunResult::Unbounded => LpOutcome::Unbounded,
+            RunResult::Optimal => {
+                let mut x = vec![0.0; self.num_structural];
+                for (i, &b) in self.basis.iter().enumerate() {
+                    if b < self.num_structural {
+                        x[b] = self.rows[i][self.total_cols].max(0.0);
+                    }
+                }
+                let objective = x
+                    .iter()
+                    .zip(&self.original_objective)
+                    .map(|(xi, ci)| xi * ci)
+                    .sum();
+                LpOutcome::Optimal(LpSolution { x, objective })
+            }
+        }
+    }
+
+    /// Replace basic artificial variables with structural/slack columns
+    /// where possible; rows with no eligible pivot are redundant and their
+    /// artificial stays basic at value 0 (harmless).
+    fn evict_basic_artificials(&mut self) {
+        for i in 0..self.rows.len() {
+            if self.basis[i] < self.artificial_start {
+                continue;
+            }
+            if let Some(j) = (0..self.artificial_start)
+                .find(|&j| self.rows[i][j].abs() > 1e-7)
+            {
+                self.pivot(i, j);
+            }
+        }
+    }
+
+    /// Run simplex iterations with the current objective row.
+    fn run(&mut self, allow_artificial_entering: bool) -> RunResult {
+        let enter_limit = if allow_artificial_entering {
+            self.total_cols
+        } else {
+            self.artificial_start
+        };
+        let m = self.rows.len();
+        let bland_after = 20 * (m + self.total_cols) + 1000;
+        let mut iter = 0usize;
+        loop {
+            iter += 1;
+            let use_bland = iter > bland_after;
+            // Entering column: most negative reduced cost (Dantzig) or the
+            // first negative (Bland).
+            let mut enter = None;
+            let mut best = -EPS;
+            for j in 0..enter_limit {
+                let c = self.obj[j];
+                if c < best {
+                    enter = Some(j);
+                    if use_bland {
+                        break;
+                    }
+                    best = c;
+                }
+            }
+            let Some(enter) = enter else {
+                return RunResult::Optimal;
+            };
+            // Ratio test: leaving row with minimal rhs/col over positive col
+            // entries; Bland tie-break on basis index.
+            let mut leave: Option<usize> = None;
+            let mut best_ratio = f64::INFINITY;
+            for i in 0..m {
+                let a = self.rows[i][enter];
+                if a > EPS {
+                    let ratio = self.rows[i][self.total_cols] / a;
+                    let better = ratio < best_ratio - EPS
+                        || (ratio < best_ratio + EPS
+                            && leave.is_some_and(|l| self.basis[i] < self.basis[l]));
+                    if better {
+                        best_ratio = ratio;
+                        leave = Some(i);
+                    }
+                }
+            }
+            let Some(leave) = leave else {
+                return RunResult::Unbounded;
+            };
+            self.pivot(leave, enter);
+        }
+    }
+
+    fn pivot(&mut self, row: usize, col: usize) {
+        let piv = self.rows[row][col];
+        debug_assert!(piv.abs() > 1e-12, "pivot on ~zero element");
+        let inv = 1.0 / piv;
+        for v in self.rows[row].iter_mut() {
+            *v *= inv;
+        }
+        // Snapshot the (now normalized) pivot row to eliminate it elsewhere.
+        let prow = self.rows[row].clone();
+        for (i, r) in self.rows.iter_mut().enumerate() {
+            if i == row {
+                continue;
+            }
+            let f = r[col];
+            if f.abs() > EPS {
+                for (v, p) in r.iter_mut().zip(prow.iter()) {
+                    *v -= f * p;
+                }
+                r[col] = 0.0; // kill residual rounding noise
+            }
+        }
+        let f = self.obj[col];
+        if f.abs() > EPS {
+            for (v, p) in self.obj.iter_mut().zip(prow.iter()) {
+                *v -= f * p;
+            }
+            self.obj[col] = 0.0;
+        }
+        self.basis[row] = col;
+    }
+}
+
+enum RunResult {
+    Optimal,
+    Unbounded,
+}
+
+fn flip(r: Relation) -> Relation {
+    match r {
+        Relation::Le => Relation::Ge,
+        Relation::Ge => Relation::Le,
+        Relation::Eq => Relation::Eq,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn solve(p: &LpProblem) -> LpSolution {
+        match p.solve() {
+            LpOutcome::Optimal(s) => s,
+            other => panic!("expected optimal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn textbook_2var() {
+        // max 3x + 5y; x ≤ 4; 2y ≤ 12; 3x + 2y ≤ 18 → x=2, y=6, z=36.
+        let mut p = LpProblem::maximize(2);
+        p.set_objective(0, 3.0).set_objective(1, 5.0);
+        p.add_constraint(vec![(0, 1.0)], Relation::Le, 4.0);
+        p.add_constraint(vec![(1, 2.0)], Relation::Le, 12.0);
+        p.add_constraint(vec![(0, 3.0), (1, 2.0)], Relation::Le, 18.0);
+        let s = solve(&p);
+        assert!((s.objective - 36.0).abs() < 1e-7);
+        assert!((s.x[0] - 2.0).abs() < 1e-7);
+        assert!((s.x[1] - 6.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn equality_constraint() {
+        // max x + y; x + y = 5; x ≤ 3 → z = 5.
+        let mut p = LpProblem::maximize(2);
+        p.set_objective(0, 1.0).set_objective(1, 1.0);
+        p.add_constraint(vec![(0, 1.0), (1, 1.0)], Relation::Eq, 5.0);
+        p.add_constraint(vec![(0, 1.0)], Relation::Le, 3.0);
+        let s = solve(&p);
+        assert!((s.objective - 5.0).abs() < 1e-7);
+        assert!((s.x[0] + s.x[1] - 5.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn ge_constraint_needs_phase1() {
+        // max −x (i.e. min x); x ≥ 7 → x = 7.
+        let mut p = LpProblem::maximize(1);
+        p.set_objective(0, -1.0);
+        p.add_constraint(vec![(0, 1.0)], Relation::Ge, 7.0);
+        let s = solve(&p);
+        assert!((s.x[0] - 7.0).abs() < 1e-7);
+        assert!((s.objective + 7.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        // x ≤ 1 and x ≥ 2.
+        let mut p = LpProblem::maximize(1);
+        p.set_objective(0, 1.0);
+        p.add_constraint(vec![(0, 1.0)], Relation::Le, 1.0);
+        p.add_constraint(vec![(0, 1.0)], Relation::Ge, 2.0);
+        assert_eq!(p.solve(), LpOutcome::Infeasible);
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        let mut p = LpProblem::maximize(2);
+        p.set_objective(0, 1.0);
+        p.add_constraint(vec![(1, 1.0)], Relation::Le, 1.0);
+        assert_eq!(p.solve(), LpOutcome::Unbounded);
+    }
+
+    #[test]
+    fn negative_rhs_is_normalized() {
+        // −x ≤ −3 ⇔ x ≥ 3; max −x → x = 3.
+        let mut p = LpProblem::maximize(1);
+        p.set_objective(0, -1.0);
+        p.add_constraint(vec![(0, -1.0)], Relation::Le, -3.0);
+        let s = solve(&p);
+        assert!((s.x[0] - 3.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn degenerate_lp_terminates() {
+        // Classic degenerate corner: multiple constraints active at origin.
+        let mut p = LpProblem::maximize(3);
+        p.set_objective(0, 0.75)
+            .set_objective(1, -150.0)
+            .set_objective(2, 0.02);
+        p.add_constraint(vec![(0, 0.25), (1, -60.0), (2, -0.04)], Relation::Le, 0.0);
+        p.add_constraint(vec![(0, 0.5), (1, -90.0), (2, -0.02)], Relation::Le, 0.0);
+        p.add_constraint(vec![(2, 1.0)], Relation::Le, 1.0);
+        let s = solve(&p);
+        // Known optimum of (a variant of) Beale's example family: finite.
+        assert!(s.objective.is_finite());
+        assert!(s.objective >= -1e-9);
+    }
+
+    #[test]
+    fn duplicate_indices_accumulate() {
+        // (x + x) ≤ 4 ⇒ x ≤ 2.
+        let mut p = LpProblem::maximize(1);
+        p.set_objective(0, 1.0);
+        p.add_constraint(vec![(0, 1.0), (0, 1.0)], Relation::Le, 4.0);
+        let s = solve(&p);
+        assert!((s.x[0] - 2.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn transportation_small() {
+        // 2 jobs × 2 types; v = [[3, 1], [2, 2]]; W = [1, 1]; caps = [1, 1];
+        // Σ_r Y_jr ≤ 1. Optimum: J0→type0, J1→type1, z = 5.
+        let mut p = LpProblem::maximize(4); // Y00 Y01 Y10 Y11
+        for (i, v) in [3.0, 1.0, 2.0, 2.0].into_iter().enumerate() {
+            p.set_objective(i, v);
+        }
+        p.add_constraint(vec![(0, 1.0), (1, 1.0)], Relation::Le, 1.0);
+        p.add_constraint(vec![(2, 1.0), (3, 1.0)], Relation::Le, 1.0);
+        p.add_constraint(vec![(0, 1.0), (2, 1.0)], Relation::Le, 1.0);
+        p.add_constraint(vec![(1, 1.0), (3, 1.0)], Relation::Le, 1.0);
+        let s = solve(&p);
+        assert!((s.objective - 5.0).abs() < 1e-7);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_bad_index() {
+        let mut p = LpProblem::maximize(1);
+        p.add_constraint(vec![(3, 1.0)], Relation::Le, 1.0);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Box-constrained LPs have the closed-form optimum Σ max(c_i, 0)·u_i;
+        /// the simplex must find it exactly.
+        #[test]
+        fn box_lp_matches_closed_form(
+            spec in proptest::collection::vec((-5.0f64..5.0, 0.1f64..10.0), 1..8)
+        ) {
+            let n = spec.len();
+            let mut p = LpProblem::maximize(n);
+            for (i, &(c, u)) in spec.iter().enumerate() {
+                p.set_objective(i, c);
+                p.add_constraint(vec![(i, 1.0)], Relation::Le, u);
+            }
+            let s = match p.solve() {
+                LpOutcome::Optimal(s) => s,
+                other => return Err(TestCaseError::fail(format!("not optimal: {other:?}"))),
+            };
+            let expect: f64 = spec.iter().map(|&(c, u)| c.max(0.0) * u).sum();
+            prop_assert!((s.objective - expect).abs() < 1e-6 * (1.0 + expect.abs()),
+                "got {} expected {expect}", s.objective);
+            // Solution is feasible for the box.
+            for (i, &(_, u)) in spec.iter().enumerate() {
+                prop_assert!(s.x[i] >= -1e-9 && s.x[i] <= u + 1e-9);
+            }
+        }
+
+        /// Random ≤-constrained LPs with non-negative RHS are always feasible
+        /// (x = 0); any returned optimum must satisfy every constraint and
+        /// dominate the origin's objective value of 0 when some c > 0.
+        #[test]
+        fn random_le_lp_solution_is_feasible(
+            rows in proptest::collection::vec(
+                (proptest::collection::vec(0.0f64..4.0, 3), 0.5f64..20.0), 1..6),
+            c in proptest::collection::vec(0.0f64..3.0, 3),
+        ) {
+            let mut p = LpProblem::maximize(3);
+            for (i, &ci) in c.iter().enumerate() {
+                p.set_objective(i, ci);
+            }
+            let mut bounded = false;
+            for (coeffs, rhs) in &rows {
+                // A row with all-positive coefficients bounds the region.
+                if coeffs.iter().all(|&a| a > 0.1) {
+                    bounded = true;
+                }
+                let sparse: Vec<(usize, f64)> =
+                    coeffs.iter().enumerate().map(|(i, &a)| (i, a)).collect();
+                p.add_constraint(sparse, Relation::Le, *rhs);
+            }
+            // Ensure boundedness so the solve must return Optimal.
+            if !bounded {
+                p.add_constraint(vec![(0, 1.0), (1, 1.0), (2, 1.0)], Relation::Le, 50.0);
+            }
+            let s = match p.solve() {
+                LpOutcome::Optimal(s) => s,
+                other => return Err(TestCaseError::fail(format!("not optimal: {other:?}"))),
+            };
+            prop_assert!(s.objective >= -1e-9);
+            for (coeffs, rhs) in &rows {
+                let lhs: f64 = coeffs.iter().zip(&s.x).map(|(a, x)| a * x).sum();
+                prop_assert!(lhs <= rhs + 1e-6, "constraint violated: {lhs} > {rhs}");
+            }
+            for x in &s.x {
+                prop_assert!(*x >= -1e-9);
+            }
+        }
+    }
+}

@@ -1,0 +1,123 @@
+//! The four GPU-hour size classes used to bucket trace jobs (§IV-A).
+
+use std::ops::Range;
+
+/// Size class of a job by its total GPU-time, as defined in §IV-A:
+/// Small (0–1 GPU-hours), Medium (1–10), Large (10–50), XLarge (60–100).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum SizeClass {
+    /// 0–1 GPU-hours.
+    Small,
+    /// 1–10 GPU-hours.
+    Medium,
+    /// 10–50 GPU-hours.
+    Large,
+    /// 60–100 GPU-hours.
+    XLarge,
+}
+
+impl SizeClass {
+    /// All classes, smallest first.
+    pub const ALL: [SizeClass; 4] = [
+        SizeClass::Small,
+        SizeClass::Medium,
+        SizeClass::Large,
+        SizeClass::XLarge,
+    ];
+
+    /// The GPU-hour range of this class (paper §IV-A).
+    ///
+    /// Note the paper's buckets leave a gap at 50–60 GPU-hours; jobs there do
+    /// not occur in generated traces, and [`SizeClass::of_gpu_hours`] assigns
+    /// them to `XLarge`.
+    pub fn gpu_hour_range(self) -> Range<f64> {
+        match self {
+            SizeClass::Small => 0.05..1.0,
+            SizeClass::Medium => 1.0..10.0,
+            SizeClass::Large => 10.0..50.0,
+            SizeClass::XLarge => 60.0..100.0,
+        }
+    }
+
+    /// Classify a GPU-hour total.
+    pub fn of_gpu_hours(hours: f64) -> SizeClass {
+        if hours < 1.0 {
+            SizeClass::Small
+        } else if hours < 10.0 {
+            SizeClass::Medium
+        } else if hours < 50.0 {
+            SizeClass::Large
+        } else {
+            SizeClass::XLarge
+        }
+    }
+
+    /// Short label as used in Table II ("S", "M", "L", "XL").
+    pub fn label(self) -> &'static str {
+        match self {
+            SizeClass::Small => "S",
+            SizeClass::Medium => "M",
+            SizeClass::Large => "L",
+            SizeClass::XLarge => "XL",
+        }
+    }
+
+    /// Gang-size choices and weights conditioned on the class. Mirrors the
+    /// heavy-tailed Philly-trace request pattern: most jobs are small gangs;
+    /// big-GPU-time jobs request larger gangs.
+    pub fn gang_distribution(self) -> &'static [(u32, f64)] {
+        match self {
+            SizeClass::Small => &[(1, 0.7), (2, 0.3)],
+            SizeClass::Medium => &[(1, 0.4), (2, 0.4), (4, 0.2)],
+            SizeClass::Large => &[(2, 0.3), (4, 0.5), (8, 0.2)],
+            SizeClass::XLarge => &[(4, 0.5), (8, 0.5)],
+        }
+    }
+}
+
+impl std::fmt::Display for SizeClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_matches_ranges() {
+        assert_eq!(SizeClass::of_gpu_hours(0.2), SizeClass::Small);
+        assert_eq!(SizeClass::of_gpu_hours(1.0), SizeClass::Medium);
+        assert_eq!(SizeClass::of_gpu_hours(9.99), SizeClass::Medium);
+        assert_eq!(SizeClass::of_gpu_hours(10.0), SizeClass::Large);
+        assert_eq!(SizeClass::of_gpu_hours(55.0), SizeClass::XLarge);
+        assert_eq!(SizeClass::of_gpu_hours(99.0), SizeClass::XLarge);
+    }
+
+    #[test]
+    fn every_range_classifies_to_itself() {
+        for c in SizeClass::ALL {
+            let r = c.gpu_hour_range();
+            assert_eq!(SizeClass::of_gpu_hours(r.start), c);
+            assert_eq!(SizeClass::of_gpu_hours((r.start + r.end) / 2.0), c);
+        }
+    }
+
+    #[test]
+    fn gang_distributions_are_normalized() {
+        for c in SizeClass::ALL {
+            let total: f64 = c.gang_distribution().iter().map(|&(_, w)| w).sum();
+            assert!((total - 1.0).abs() < 1e-12, "{c}: weights sum to {total}");
+            for &(g, _) in c.gang_distribution() {
+                assert!(g >= 1 && g <= 8);
+            }
+        }
+    }
+
+    #[test]
+    fn labels() {
+        let labels: Vec<_> = SizeClass::ALL.iter().map(|c| c.label()).collect();
+        assert_eq!(labels, vec!["S", "M", "L", "XL"]);
+    }
+}

@@ -1,0 +1,271 @@
+//! The five Table II workloads and their device-heterogeneity profiles.
+//!
+//! Gavel (OSDI '20) observed that DNN training throughput varies across GPU
+//! generations by model-dependent factors — e.g. ResNet-50 runs ~10× faster
+//! on a V100 than a K80 while recurrent models see only ~2–3×. The paper
+//! reuses Gavel's measured throughputs as scheduling input; since those raw
+//! measurements are not in the paper, we ship a synthetic table that
+//! preserves the published *ratios* (the only thing scheduling decisions
+//! depend on). Checkpoint footprints and re-initialization times are
+//! calibrated against Table IV (preemption overhead) assuming the prototype's
+//! 1000 MiB/s SSD with a 0.25 effective-bandwidth serialization factor.
+
+use crate::categories::SizeClass;
+
+/// The representative deep-learning tasks of Table II.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum DlTask {
+    /// Image classification, ResNet-50 on ImageNet (XLarge).
+    ResNet50,
+    /// Image classification, ResNet-18 on CIFAR-10 (Small).
+    ResNet18,
+    /// Language modeling, 2-layer LSTM on Wikitext-2 (Large).
+    Lstm,
+    /// Image-to-image translation, CycleGAN on monet2photo (Medium).
+    CycleGan,
+    /// Language translation, Transformer on Multi30K de-en (Large).
+    Transformer,
+}
+
+/// Per-GPU-type training throughput in iterations/second for one task
+/// (one worker). Mirrors Gavel's heterogeneity ratios:
+/// V100:K80 is 10× for ResNet-50, ~3× for the LSTM, intermediate otherwise.
+const THROUGHPUT_TABLE: &[(DlTask, &[(&str, f64)])] = &[
+    (
+        DlTask::ResNet50,
+        &[
+            ("V100", 30.0),
+            ("P100", 15.0),
+            ("K80", 3.0),
+            ("T4", 18.0),
+            ("K520", 2.0),
+        ],
+    ),
+    (
+        DlTask::ResNet18,
+        &[
+            ("V100", 120.0),
+            ("P100", 70.0),
+            ("K80", 20.0),
+            ("T4", 90.0),
+            ("K520", 12.0),
+        ],
+    ),
+    (
+        DlTask::Lstm,
+        &[
+            ("V100", 60.0),
+            ("P100", 40.0),
+            ("K80", 20.0),
+            ("T4", 45.0),
+            ("K520", 12.0),
+        ],
+    ),
+    (
+        DlTask::CycleGan,
+        &[
+            ("V100", 8.0),
+            ("P100", 5.0),
+            ("K80", 1.5),
+            ("T4", 6.0),
+            ("K520", 1.0),
+        ],
+    ),
+    (
+        DlTask::Transformer,
+        &[
+            ("V100", 50.0),
+            ("P100", 30.0),
+            ("K80", 12.0),
+            ("T4", 35.0),
+            ("K520", 8.0),
+        ],
+    ),
+];
+
+impl DlTask {
+    /// All tasks in Table II order.
+    pub const ALL: [DlTask; 5] = [
+        DlTask::ResNet50,
+        DlTask::ResNet18,
+        DlTask::Lstm,
+        DlTask::CycleGan,
+        DlTask::Transformer,
+    ];
+
+    /// Short model name as printed in tables.
+    pub fn model_name(self) -> &'static str {
+        match self {
+            DlTask::ResNet50 => "ResNet-50",
+            DlTask::ResNet18 => "ResNet-18",
+            DlTask::Lstm => "LSTM",
+            DlTask::CycleGan => "CycleGAN",
+            DlTask::Transformer => "Transformer",
+        }
+    }
+
+    /// Task category as in Table II.
+    pub fn task_name(self) -> &'static str {
+        match self {
+            DlTask::ResNet50 | DlTask::ResNet18 => "Image Classification",
+            DlTask::Lstm => "Language Modeling",
+            DlTask::CycleGan => "Image-to-Image Translation",
+            DlTask::Transformer => "Language Translation",
+        }
+    }
+
+    /// Training dataset as in Table II.
+    pub fn dataset(self) -> &'static str {
+        match self {
+            DlTask::ResNet50 => "ImageNet",
+            DlTask::ResNet18 => "CIFAR-10",
+            DlTask::Lstm => "Wikitext-2",
+            DlTask::CycleGan => "monet2photo",
+            DlTask::Transformer => "Multi30K (de-en)",
+        }
+    }
+
+    /// The Table II relative-size class of this workload.
+    pub fn size_class(self) -> SizeClass {
+        match self {
+            DlTask::ResNet50 => SizeClass::XLarge,
+            DlTask::ResNet18 => SizeClass::Small,
+            DlTask::Lstm => SizeClass::Large,
+            DlTask::CycleGan => SizeClass::Medium,
+            DlTask::Transformer => SizeClass::Large,
+        }
+    }
+
+    /// Parse a model name produced by [`DlTask::model_name`].
+    pub fn from_model_name(name: &str) -> Option<Self> {
+        Self::ALL.into_iter().find(|t| t.model_name() == name)
+    }
+
+    /// Iterations/second for one task of this model on the named GPU type,
+    /// or `None` for an unknown type.
+    pub fn throughput_on(self, gpu_name: &str) -> Option<f64> {
+        let (_, row) = THROUGHPUT_TABLE.iter().find(|(t, _)| *t == self)?;
+        row.iter().find(|(g, _)| *g == gpu_name).map(|&(_, x)| x)
+    }
+
+    /// Checkpoint footprint in MiB (parameters + optimizer state),
+    /// calibrated against Table IV.
+    pub fn checkpoint_mib(self) -> f64 {
+        match self {
+            DlTask::ResNet50 => 298.0,
+            DlTask::ResNet18 => 189.0,
+            DlTask::Lstm => 783.0,
+            DlTask::CycleGan => 117.0,
+            DlTask::Transformer => 153.0,
+        }
+    }
+
+    /// Worker re-initialization time in seconds when a job is moved to a new
+    /// allocation (process restart, gRPC re-registration, CUDA context and
+    /// data-pipeline warm-up). Calibrated against Table IV.
+    pub fn reinit_seconds(self) -> f64 {
+        match self {
+            DlTask::ResNet50 => 5.18,
+            DlTask::ResNet18 => 3.13,
+            DlTask::Lstm => 0.97,
+            DlTask::CycleGan => 1.51,
+            DlTask::Transformer => 1.33,
+        }
+    }
+
+    /// A representative iterations-per-epoch (`N_j`, "data chunks" in the
+    /// paper's terminology) for the model's dataset at its usual batch size.
+    pub fn iterations_per_epoch(self) -> u64 {
+        match self {
+            DlTask::ResNet50 => 5_000, // ImageNet / 256
+            DlTask::ResNet18 => 390,   // CIFAR-10 / 128
+            DlTask::Lstm => 1_320,     // Wikitext-2 bptt batches
+            DlTask::CycleGan => 1_070, // monet2photo pairs
+            DlTask::Transformer => 906, // Multi30K / 32
+        }
+    }
+}
+
+impl std::fmt::Display for DlTask {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.model_name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn heterogeneity_ratios_match_gavel_observations() {
+        // ResNet-50: ~10x between V100 and K80 (paper §I cites this).
+        let r50_v = DlTask::ResNet50.throughput_on("V100").unwrap();
+        let r50_k = DlTask::ResNet50.throughput_on("K80").unwrap();
+        assert!((r50_v / r50_k - 10.0).abs() < 1e-9);
+        // LSTM: ~3x only (recurrent models benefit less).
+        let lstm_v = DlTask::Lstm.throughput_on("V100").unwrap();
+        let lstm_k = DlTask::Lstm.throughput_on("K80").unwrap();
+        assert!((lstm_v / lstm_k - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn throughput_covers_all_five_gpu_types() {
+        for t in DlTask::ALL {
+            for g in ["V100", "P100", "K80", "T4", "K520"] {
+                let x = t.throughput_on(g).unwrap();
+                assert!(x > 0.0, "{t} on {g}");
+            }
+            assert_eq!(t.throughput_on("TPUv4"), None);
+        }
+    }
+
+    #[test]
+    fn v100_dominates_every_model() {
+        for t in DlTask::ALL {
+            let v = t.throughput_on("V100").unwrap();
+            for g in ["P100", "K80", "T4", "K520"] {
+                assert!(v > t.throughput_on(g).unwrap(), "{t}: V100 vs {g}");
+            }
+        }
+    }
+
+    #[test]
+    fn table2_metadata() {
+        assert_eq!(DlTask::ResNet50.size_class(), SizeClass::XLarge);
+        assert_eq!(DlTask::ResNet18.size_class(), SizeClass::Small);
+        assert_eq!(DlTask::CycleGan.size_class(), SizeClass::Medium);
+        assert_eq!(DlTask::Lstm.size_class(), SizeClass::Large);
+        assert_eq!(DlTask::Transformer.size_class(), SizeClass::Large);
+        assert_eq!(DlTask::Transformer.dataset(), "Multi30K (de-en)");
+        assert_eq!(DlTask::CycleGan.task_name(), "Image-to-Image Translation");
+    }
+
+    #[test]
+    fn model_name_roundtrip() {
+        for t in DlTask::ALL {
+            assert_eq!(DlTask::from_model_name(t.model_name()), Some(t));
+        }
+        assert_eq!(DlTask::from_model_name("AlexNet"), None);
+    }
+
+    #[test]
+    fn checkpoint_calibration_against_table4() {
+        // Table IV (w/o reallocation): overhead = save_time / 360 s where
+        // save_time = ckpt_mib / 250 MiB/s effective bandwidth.
+        let expect = [
+            (DlTask::ResNet50, 0.33),
+            (DlTask::ResNet18, 0.21),
+            (DlTask::Lstm, 0.87),
+            (DlTask::CycleGan, 0.13),
+            (DlTask::Transformer, 0.17),
+        ];
+        for (t, pct) in expect {
+            let save = t.checkpoint_mib() / 250.0;
+            let overhead = save / 360.0 * 100.0;
+            assert!(
+                (overhead - pct).abs() < 0.03,
+                "{t}: modeled {overhead:.2}% vs paper {pct}%"
+            );
+        }
+    }
+}

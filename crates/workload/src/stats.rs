@@ -1,0 +1,157 @@
+//! Trace statistics: the workload-shape summaries used to sanity-check
+//! generated traces against the Philly-trace characteristics the paper's
+//! recipe targets (heavy-tailed GPU-time, mixed gang sizes, Poisson
+//! arrivals).
+
+use std::collections::BTreeMap;
+
+use crate::categories::SizeClass;
+use crate::job::Job;
+use crate::model::DlTask;
+
+/// Aggregate shape of a trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceStats {
+    /// Jobs per size class.
+    pub per_class: BTreeMap<SizeClass, usize>,
+    /// Jobs per model.
+    pub per_model: BTreeMap<DlTask, usize>,
+    /// Jobs per gang size.
+    pub per_gang: BTreeMap<u32, usize>,
+    /// Total GPU-hours across the trace (best-case device).
+    pub total_gpu_hours: f64,
+    /// Mean inter-arrival gap in seconds (0 for static traces).
+    pub mean_interarrival_s: f64,
+    /// Fraction of total GPU-hours contributed by the largest decile of
+    /// jobs — the heavy-tail indicator (Philly-style traces are dominated
+    /// by their biggest jobs).
+    pub top_decile_gpu_hour_share: f64,
+}
+
+impl TraceStats {
+    /// Compute statistics over `jobs`.
+    pub fn of(jobs: &[Job]) -> Self {
+        let mut per_class = BTreeMap::new();
+        let mut per_model = BTreeMap::new();
+        let mut per_gang = BTreeMap::new();
+        let mut hours: Vec<f64> = Vec::with_capacity(jobs.len());
+        for j in jobs {
+            *per_class.entry(j.size_class()).or_insert(0) += 1;
+            *per_model.entry(j.model).or_insert(0) += 1;
+            *per_gang.entry(j.gang).or_insert(0) += 1;
+            hours.push(j.gpu_hours());
+        }
+        let total_gpu_hours: f64 = hours.iter().sum();
+
+        let mean_interarrival_s = if jobs.len() > 1 {
+            let mut arrivals: Vec<f64> = jobs.iter().map(|j| j.arrival).collect();
+            arrivals.sort_by(|a, b| a.partial_cmp(b).expect("finite arrivals"));
+            (arrivals.last().expect("non-empty") - arrivals[0]) / (jobs.len() - 1) as f64
+        } else {
+            0.0
+        };
+
+        let top_decile_gpu_hour_share = if total_gpu_hours > 0.0 && !hours.is_empty() {
+            hours.sort_by(|a, b| b.partial_cmp(a).expect("finite hours"));
+            let top = hours.len().div_ceil(10);
+            hours.iter().take(top).sum::<f64>() / total_gpu_hours
+        } else {
+            0.0
+        };
+
+        Self {
+            per_class,
+            per_model,
+            per_gang,
+            total_gpu_hours,
+            mean_interarrival_s,
+            top_decile_gpu_hour_share,
+        }
+    }
+
+    /// Render a compact human-readable summary.
+    pub fn render(&self) -> String {
+        let classes: Vec<String> = self
+            .per_class
+            .iter()
+            .map(|(c, n)| format!("{c}:{n}"))
+            .collect();
+        let gangs: Vec<String> = self
+            .per_gang
+            .iter()
+            .map(|(g, n)| format!("{g}-GPU:{n}"))
+            .collect();
+        format!(
+            "classes [{}], gangs [{}], {:.0} GPU-hours total, top-decile share {:.0}%, mean gap {:.0}s",
+            classes.join(" "),
+            gangs.join(" "),
+            self.total_gpu_hours,
+            self.top_decile_gpu_hour_share * 100.0,
+            self.mean_interarrival_s,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arrivals::ArrivalPattern;
+    use crate::trace::{generate_trace, TraceConfig};
+    use hadar_cluster::GpuCatalog;
+
+    fn catalog() -> GpuCatalog {
+        GpuCatalog::from_names(["V100", "P100", "K80"])
+    }
+
+    #[test]
+    fn paper_trace_shape_is_philly_like() {
+        let jobs = generate_trace(&TraceConfig::paper_static(7), &catalog());
+        let s = TraceStats::of(&jobs);
+        // All four classes populated, roughly uniformly (±50 %).
+        for c in SizeClass::ALL {
+            let n = *s.per_class.get(&c).unwrap_or(&0);
+            assert!(
+                (60..=180).contains(&n),
+                "{c}: {n} jobs out of 480 is not ~uniform"
+            );
+        }
+        // Heavy tail: the top 10 % of jobs carry over half the GPU-time.
+        assert!(
+            s.top_decile_gpu_hour_share > 0.25,
+            "share {}",
+            s.top_decile_gpu_hour_share
+        );
+        // Static trace → no inter-arrival gap.
+        assert_eq!(s.mean_interarrival_s, 0.0);
+        // Gangs follow the class-conditional distributions (1..8).
+        assert!(s.per_gang.keys().all(|g| [1, 2, 4, 8].contains(g)));
+    }
+
+    #[test]
+    fn poisson_interarrival_matches_rate() {
+        let jobs = generate_trace(&TraceConfig::paper_continuous(3), &catalog());
+        let s = TraceStats::of(&jobs);
+        // λ = 60/hour → mean gap ≈ 60 s.
+        assert!(
+            (s.mean_interarrival_s - 60.0).abs() < 12.0,
+            "gap {}",
+            s.mean_interarrival_s
+        );
+    }
+
+    #[test]
+    fn render_mentions_all_sections() {
+        let jobs = generate_trace(&TraceConfig::paper_static(1), &catalog());
+        let r = TraceStats::of(&jobs).render();
+        assert!(r.contains("classes"));
+        assert!(r.contains("GPU-hours"));
+    }
+
+    #[test]
+    fn empty_trace() {
+        let s = TraceStats::of(&[]);
+        assert_eq!(s.total_gpu_hours, 0.0);
+        assert_eq!(s.top_decile_gpu_hour_share, 0.0);
+        assert!(s.per_class.is_empty());
+    }
+}

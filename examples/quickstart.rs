@@ -1,0 +1,52 @@
+//! Quickstart: simulate the Hadar scheduler on the paper's 60-GPU cluster
+//! with a small synthetic trace and print the headline metrics.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use hadar::prelude::*;
+
+fn main() {
+    // The evaluation cluster of §IV-A: 15 nodes, 20 each of V100/P100/K80.
+    let cluster = Cluster::paper_simulation();
+
+    // A seeded Philly-style trace: 48 jobs across the four size classes,
+    // arriving as a Poisson process at 60 jobs/hour.
+    let trace = generate_trace(
+        &TraceConfig {
+            num_jobs: 48,
+            seed: 7,
+            pattern: ArrivalPattern::Poisson {
+                jobs_per_hour: 60.0,
+            },
+        },
+        cluster.catalog(),
+    );
+
+    // Hadar with its defaults: effective-throughput utility, auto DP/greedy
+    // dual subroutine, 10-second assumed reallocation stall.
+    let scheduler = HadarScheduler::new(HadarConfig::default());
+
+    // 6-minute rounds, 10-second checkpoint-restart penalty (the paper's
+    // simulation settings).
+    let outcome = Simulation::new(cluster, trace, SimConfig::default()).run(scheduler);
+
+    let jct = outcome.metrics();
+    println!("completed jobs      : {}", outcome.completed_jobs());
+    println!("mean JCT            : {:.2} h", jct.mean / 3600.0);
+    println!("median JCT          : {:.2} h", jct.median / 3600.0);
+    println!("p95 JCT             : {:.2} h", jct.p95 / 3600.0);
+    println!("makespan            : {:.2} h", outcome.makespan() / 3600.0);
+    println!(
+        "GPU utilization     : {:.1} % (demand-weighted)",
+        outcome.demand_weighted_utilization() * 100.0
+    );
+    println!("finish-time fairness: {:.3} (mean ρ, lower is better)", outcome.ftf().mean);
+    println!(
+        "queuing delay       : {:.2} h (mean)",
+        outcome.queuing_delays().mean / 3600.0
+    );
+    println!(
+        "reallocation rate   : {:.1} % of job-rounds",
+        outcome.reallocation_rate() * 100.0
+    );
+}

@@ -1,0 +1,71 @@
+//! Head-to-head of all four schedulers on the same continuous workload —
+//! the §IV-A comparison in miniature — printing a metrics table and the
+//! per-scheduler completion CDF to a CSV.
+//!
+//! Run with: `cargo run --release --example scheduler_faceoff [num_jobs]`
+
+use hadar::baselines::{GavelScheduler, TiresiasScheduler, YarnCsScheduler};
+use hadar::metrics::{CsvWriter, Table};
+use hadar::prelude::*;
+use hadar::sim::Scheduler;
+
+fn main() {
+    let num_jobs: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(60);
+    let cluster = Cluster::paper_simulation();
+    let trace = generate_trace(
+        &TraceConfig {
+            num_jobs,
+            seed: 1234,
+            pattern: ArrivalPattern::paper_continuous(),
+        },
+        cluster.catalog(),
+    );
+
+    let schedulers: Vec<Box<dyn Scheduler>> = vec![
+        Box::new(HadarScheduler::new(HadarConfig::default())),
+        Box::new(GavelScheduler::paper_default()),
+        Box::new(TiresiasScheduler::paper_default()),
+        Box::new(YarnCsScheduler::new()),
+    ];
+
+    let mut table = Table::new(vec![
+        "Scheduler",
+        "Mean JCT (h)",
+        "Median JCT (h)",
+        "Makespan (h)",
+        "Util (%)",
+        "Mean FTF",
+    ]);
+    let mut cdf = CsvWriter::new(&["scheduler", "time_hours", "fraction_completed"]);
+
+    for scheduler in schedulers {
+        let outcome = Simulation::new(cluster.clone(), trace.clone(), SimConfig::default())
+            .run(scheduler);
+        assert_eq!(outcome.completed_jobs(), num_jobs);
+        let m = outcome.metrics();
+        table.row(vec![
+            outcome.scheduler.clone(),
+            format!("{:.2}", m.mean / 3600.0),
+            format!("{:.2}", m.median / 3600.0),
+            format!("{:.2}", outcome.makespan() / 3600.0),
+            format!("{:.1}", outcome.demand_weighted_utilization() * 100.0),
+            format!("{:.3}", outcome.ftf().mean),
+        ]);
+        for (t, f) in outcome.completion_cdf() {
+            cdf.row(vec![
+                outcome.scheduler.clone(),
+                format!("{:.4}", t / 3600.0),
+                format!("{f:.5}"),
+            ]);
+        }
+    }
+
+    println!("{num_jobs} jobs, Poisson arrivals at 60/hour, 60-GPU cluster\n");
+    println!("{}", table.render());
+    let path = std::path::Path::new("results/faceoff_cdf.csv");
+    cdf.write_to(path).expect("write CDF csv");
+    println!("completion CDFs written to {}", path.display());
+}

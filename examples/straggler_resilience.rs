@@ -1,0 +1,66 @@
+//! Straggler resilience demo: inject transient machine slowdowns and watch
+//! Hadar migrate gangs off slow servers while the heterogeneity-oblivious
+//! baselines pay the synchronization-barrier penalty (§IV-A-1).
+//!
+//! Run with: `cargo run --release --example straggler_resilience`
+
+use hadar::baselines::TiresiasScheduler;
+use hadar::prelude::*;
+use hadar::sim::{Scheduler, StragglerModel};
+
+fn run(name: &str, straggler: Option<StragglerModel>, make: impl Fn() -> Box<dyn Scheduler>) -> f64 {
+    let cluster = Cluster::paper_simulation();
+    let jobs = generate_trace(
+        &TraceConfig {
+            num_jobs: 40,
+            seed: 13,
+            pattern: ArrivalPattern::Static,
+        },
+        cluster.catalog(),
+    );
+    let mut config = SimConfig::default();
+    config.straggler = straggler;
+    let out = Simulation::new(cluster, jobs, config).run(make());
+    assert_eq!(out.completed_jobs(), 40);
+    println!(
+        "  {name:<22} mean JCT {:>6.2} h | reallocations {:>4.1}% of job-rounds",
+        out.mean_jct() / 3600.0,
+        out.reallocation_rate() * 100.0
+    );
+    out.mean_jct()
+}
+
+fn main() {
+    let model = StragglerModel {
+        incidence: 0.04,   // 4% chance per machine per round
+        slowdown: 0.35,    // straggling machines run at 35% speed
+        mean_duration_rounds: 6.0,
+        seed: 5,
+    };
+    println!("healthy cluster:");
+    let hadar_h = run("Hadar", None, || {
+        Box::new(HadarScheduler::new(HadarConfig::default()))
+    });
+    let tiresias_h = run("Tiresias (oblivious)", None, || {
+        Box::new(TiresiasScheduler::paper_default())
+    });
+
+    println!("\nwith straggler injection ({model:?}):");
+    let hadar_s = run("Hadar", Some(model), || {
+        Box::new(HadarScheduler::new(HadarConfig::default()))
+    });
+    let tiresias_s = run("Tiresias (oblivious)", Some(model), || {
+        Box::new(TiresiasScheduler::paper_default())
+    });
+
+    println!(
+        "\nJCT degradation under stragglers: Hadar {:+.1}% vs Tiresias {:+.1}%",
+        (hadar_s / hadar_h - 1.0) * 100.0,
+        (tiresias_s / tiresias_h - 1.0) * 100.0
+    );
+    println!(
+        "Hadar reads the per-machine factors each round and migrates gangs off\n\
+         slow servers when the gain beats the checkpoint cost; Tiresias keeps\n\
+         paying the slowest worker's pace at the synchronization barrier."
+    );
+}

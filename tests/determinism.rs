@@ -1,0 +1,101 @@
+//! Reproducibility guarantees: identical inputs give identical outcomes for
+//! every scheduler, and the trace generator is a pure function of its seed.
+
+use hadar::baselines::{GavelScheduler, TiresiasScheduler, YarnCsScheduler};
+use hadar::prelude::*;
+use hadar::sim::Scheduler;
+
+fn outcome_fingerprint(out: &SimOutcome) -> Vec<(u32, u64, u32)> {
+    out.records
+        .iter()
+        .map(|r| {
+            (
+                r.job.id.0,
+                r.finish.unwrap_or(-1.0).to_bits(),
+                r.reallocations,
+            )
+        })
+        .collect()
+}
+
+fn run_seeded(seed: u64, make: &dyn Fn() -> Box<dyn Scheduler>) -> SimOutcome {
+    let cluster = Cluster::paper_simulation();
+    let jobs = generate_trace(
+        &TraceConfig {
+            num_jobs: 20,
+            seed,
+            pattern: ArrivalPattern::paper_continuous(),
+        },
+        cluster.catalog(),
+    );
+    Simulation::new(cluster, jobs, SimConfig::default()).run(make())
+}
+
+#[test]
+fn identical_seeds_identical_outcomes() {
+    let factories: Vec<(&str, Box<dyn Fn() -> Box<dyn Scheduler>>)> = vec![
+        (
+            "Hadar",
+            Box::new(|| Box::new(HadarScheduler::new(HadarConfig::default())) as _),
+        ),
+        (
+            "Gavel",
+            Box::new(|| Box::new(GavelScheduler::paper_default()) as _),
+        ),
+        (
+            "Tiresias",
+            Box::new(|| Box::new(TiresiasScheduler::paper_default()) as _),
+        ),
+        ("YARN-CS", Box::new(|| Box::new(YarnCsScheduler::new()) as _)),
+    ];
+    for (name, factory) in &factories {
+        let a = run_seeded(5, factory);
+        let b = run_seeded(5, factory);
+        assert_eq!(
+            outcome_fingerprint(&a),
+            outcome_fingerprint(&b),
+            "{name} is nondeterministic"
+        );
+    }
+}
+
+#[test]
+fn different_seeds_differ() {
+    let factory: Box<dyn Fn() -> Box<dyn Scheduler>> =
+        Box::new(|| Box::new(HadarScheduler::new(HadarConfig::default())) as _);
+    let a = run_seeded(5, &factory);
+    let b = run_seeded(6, &factory);
+    assert_ne!(outcome_fingerprint(&a), outcome_fingerprint(&b));
+}
+
+#[test]
+fn trace_generation_is_pure() {
+    let cluster = Cluster::paper_simulation();
+    let cfg = TraceConfig {
+        num_jobs: 100,
+        seed: 77,
+        pattern: ArrivalPattern::paper_continuous(),
+    };
+    assert_eq!(
+        generate_trace(&cfg, cluster.catalog()),
+        generate_trace(&cfg, cluster.catalog())
+    );
+}
+
+#[test]
+fn csv_roundtrip_preserves_simulation_results() {
+    let cluster = Cluster::paper_simulation();
+    let cfg = TraceConfig {
+        num_jobs: 15,
+        seed: 4,
+        pattern: ArrivalPattern::Static,
+    };
+    let jobs = generate_trace(&cfg, cluster.catalog());
+    let csv = hadar::workload::save_trace_csv(&jobs);
+    let reloaded = hadar::workload::load_trace_csv(&csv, cluster.catalog()).unwrap();
+    let out_a = Simulation::new(cluster.clone(), jobs, SimConfig::default())
+        .run(HadarScheduler::new(HadarConfig::default()));
+    let out_b = Simulation::new(cluster, reloaded, SimConfig::default())
+        .run(HadarScheduler::new(HadarConfig::default()));
+    assert_eq!(outcome_fingerprint(&out_a), outcome_fingerprint(&out_b));
+}

@@ -1,0 +1,224 @@
+//! Cross-crate integration tests: the full pipeline (trace generation →
+//! scheduler → simulator → metrics) for every policy, plus the paper's
+//! comparative claims in miniature.
+
+use hadar::baselines::{GavelScheduler, TiresiasScheduler, YarnCsScheduler};
+use hadar::prelude::*;
+use hadar::sim::Scheduler;
+
+fn trace(n: usize, seed: u64, pattern: ArrivalPattern) -> (Cluster, Vec<Job>) {
+    let cluster = Cluster::paper_simulation();
+    let jobs = generate_trace(
+        &TraceConfig {
+            num_jobs: n,
+            seed,
+            pattern,
+        },
+        cluster.catalog(),
+    );
+    (cluster, jobs)
+}
+
+fn run_with(cluster: Cluster, jobs: Vec<Job>, s: Box<dyn Scheduler>) -> SimOutcome {
+    Simulation::new(cluster, jobs, SimConfig::default()).run(s)
+}
+
+fn all_schedulers() -> Vec<Box<dyn Scheduler>> {
+    vec![
+        Box::new(HadarScheduler::new(HadarConfig::default())),
+        Box::new(GavelScheduler::paper_default()),
+        Box::new(TiresiasScheduler::paper_default()),
+        Box::new(YarnCsScheduler::new()),
+    ]
+}
+
+#[test]
+fn every_scheduler_completes_static_and_continuous_traces() {
+    for pattern in [ArrivalPattern::Static, ArrivalPattern::paper_continuous()] {
+        for s in all_schedulers() {
+            let name = s.name().to_owned();
+            let (cluster, jobs) = trace(24, 3, pattern);
+            let out = run_with(cluster, jobs, s);
+            assert_eq!(out.completed_jobs(), 24, "{name} under {pattern:?}");
+            assert!(!out.timed_out, "{name}");
+            // Sanity on derived metrics.
+            assert!(out.mean_jct() > 0.0, "{name}");
+            assert!(out.makespan() >= out.metrics().max, "{name}");
+            let u = out.demand_weighted_utilization();
+            assert!((0.0..=1.0).contains(&u), "{name}: util {u}");
+            assert!(out.ftf().mean > 0.0, "{name}");
+        }
+    }
+}
+
+#[test]
+fn hadar_beats_every_baseline_on_mean_jct() {
+    // The paper's headline claim, in miniature: on the 60-GPU cluster with a
+    // mixed static trace, Hadar's mean JCT beats Gavel, Tiresias, and
+    // YARN-CS.
+    let (cluster, jobs) = trace(60, 42, ArrivalPattern::Static);
+    let hadar = run_with(
+        cluster.clone(),
+        jobs.clone(),
+        Box::new(HadarScheduler::new(HadarConfig::default())),
+    );
+    for baseline in [
+        Box::new(GavelScheduler::paper_default()) as Box<dyn Scheduler>,
+        Box::new(TiresiasScheduler::paper_default()),
+        Box::new(YarnCsScheduler::new()),
+    ] {
+        let name = baseline.name().to_owned();
+        let out = run_with(cluster.clone(), jobs.clone(), baseline);
+        assert!(
+            hadar.mean_jct() < out.mean_jct(),
+            "Hadar {:.1}h !< {name} {:.1}h",
+            hadar.mean_jct() / 3600.0,
+            out.mean_jct() / 3600.0
+        );
+    }
+}
+
+#[test]
+fn hadar_beats_gavel_on_ftf_and_utilization() {
+    let (cluster, jobs) = trace(60, 42, ArrivalPattern::Static);
+    let hadar = run_with(
+        cluster.clone(),
+        jobs.clone(),
+        Box::new(HadarScheduler::new(HadarConfig::default())),
+    );
+    let gavel = run_with(cluster, jobs, Box::new(GavelScheduler::paper_default()));
+    assert!(hadar.ftf().mean < gavel.ftf().mean, "FTF regressed");
+    assert!(
+        hadar.demand_weighted_utilization() > gavel.demand_weighted_utilization(),
+        "utilization regressed"
+    );
+}
+
+#[test]
+fn hadar_shortens_queuing_delay_vs_gavel() {
+    // §I: "shortens the queuing delay by 13%" — direction check.
+    let (cluster, jobs) = trace(60, 42, ArrivalPattern::paper_continuous());
+    let hadar = run_with(
+        cluster.clone(),
+        jobs.clone(),
+        Box::new(HadarScheduler::new(HadarConfig::default())),
+    );
+    let gavel = run_with(cluster, jobs, Box::new(GavelScheduler::paper_default()));
+    assert!(
+        hadar.queuing_delays().mean < gavel.queuing_delays().mean,
+        "Hadar queuing delay {:.2}h !< Gavel {:.2}h",
+        hadar.queuing_delays().mean / 3600.0,
+        gavel.queuing_delays().mean / 3600.0
+    );
+}
+
+#[test]
+fn task_level_mixing_rescues_fragmented_cluster() {
+    // A gang that no single GPU type can host: Hadar must still run it.
+    let mut b = ClusterBuilder::new();
+    let v100 = b.gpu_type("V100");
+    let p100 = b.gpu_type("P100");
+    b.machine(&[(v100, 1)]);
+    b.machine(&[(p100, 1)]);
+    let cluster = b.build();
+    let job = Job::for_model(
+        JobId(0),
+        hadar::workload::DlTask::ResNet18,
+        cluster.catalog(),
+        0.0,
+        2, // needs both GPUs, necessarily mixed
+        20,
+    );
+    let hadar = run_with(
+        cluster.clone(),
+        vec![job.clone()],
+        Box::new(HadarScheduler::new(HadarConfig::default())),
+    );
+    assert_eq!(hadar.completed_jobs(), 1);
+    // Gavel never mixes: the job can never be placed. It must time out.
+    let config = SimConfig {
+        max_rounds: 50,
+        ..SimConfig::default()
+    };
+    let gavel = Simulation::new(cluster, vec![job], config)
+        .run(GavelScheduler::paper_default());
+    assert_eq!(gavel.completed_jobs(), 0);
+    assert!(gavel.timed_out);
+}
+
+#[test]
+fn outcome_reallocation_stat_is_bounded() {
+    let (cluster, jobs) = trace(40, 8, ArrivalPattern::Static);
+    let out = run_with(
+        cluster,
+        jobs,
+        Box::new(HadarScheduler::new(HadarConfig::default())),
+    );
+    let rate = out.reallocation_rate();
+    assert!((0.0..=1.0).contains(&rate));
+    // Hadar's sticky candidates keep churn modest (§IV-A-5 reports ~30%).
+    assert!(rate < 0.5, "reallocation rate {rate} suspiciously high");
+}
+
+#[test]
+fn rack_topology_slows_cross_rack_gangs() {
+    use hadar::cluster::{PlacementSlice, RackTopology};
+    use hadar::sim::{PreemptionPenalty, Scheduler, SchedulerContext};
+
+    // Four single-V100 machines; racks {0,1} and {2,3}.
+    let build = || {
+        let mut b = ClusterBuilder::new();
+        let v100 = b.gpu_type("V100");
+        for _ in 0..4 {
+            b.machine(&[(v100, 1)]);
+        }
+        b.build().with_racks(RackTopology::uniform(4, 2))
+    };
+    struct Pin {
+        machines: [u32; 2],
+    }
+    impl Scheduler for Pin {
+        fn name(&self) -> &str {
+            "Pin"
+        }
+        fn schedule(&mut self, ctx: &SchedulerContext<'_>) -> Allocation {
+            let v100 = ctx.cluster.catalog().lookup("V100").unwrap();
+            let mut a = Allocation::empty();
+            for s in ctx.jobs {
+                a.set(
+                    s.job.id,
+                    JobPlacement::from_slices(self.machines.map(|m| PlacementSlice {
+                        machine: MachineId(m),
+                        gpu: v100,
+                        count: 1,
+                    })),
+                );
+            }
+            a
+        }
+    }
+    let job = || {
+        vec![Job::for_model(
+            JobId(0),
+            hadar::workload::DlTask::ResNet18,
+            build().catalog(),
+            0.0,
+            2,
+            100,
+        )]
+    };
+    let config = SimConfig {
+        penalty: PreemptionPenalty::None,
+        ..SimConfig::default()
+    };
+    let same_rack = Simulation::new(build(), job(), config).run(Pin { machines: [0, 1] });
+    let cross_rack = Simulation::new(build(), job(), config).run(Pin { machines: [0, 2] });
+    let (a, b) = (
+        same_rack.records[0].jct().unwrap(),
+        cross_rack.records[0].jct().unwrap(),
+    );
+    assert!(
+        b > a * 1.02,
+        "cross-rack gang should pay the rack tier: same {a:.1}s vs cross {b:.1}s"
+    );
+}

@@ -1,0 +1,208 @@
+//! Property-based workspace tests (proptest): for randomly generated
+//! clusters and traces, every scheduler completes every job without ever
+//! tripping the engine's capacity/gang validation, and derived metrics stay
+//! in their domains.
+
+use proptest::prelude::*;
+
+use hadar::baselines::{GavelScheduler, TiresiasScheduler, YarnCsScheduler};
+use hadar::prelude::*;
+use hadar::sim::{PreemptionPenalty, Scheduler};
+use hadar::workload::DlTask;
+
+/// A random small heterogeneous cluster: 2–5 machines, 1–4 GPUs each,
+/// drawn from the three simulation GPU types (at least one V100 machine so
+/// every model can run somewhere).
+fn arb_cluster() -> impl Strategy<Value = Cluster> {
+    (
+        proptest::collection::vec((0usize..3, 1u32..=4), 1..5),
+    )
+        .prop_map(|(machines,)| {
+            let mut b = ClusterBuilder::new();
+            let types = [
+                b.gpu_type("V100"),
+                b.gpu_type("P100"),
+                b.gpu_type("K80"),
+            ];
+            b.machine(&[(types[0], 2)]); // guaranteed V100 capacity
+            for (t, n) in machines {
+                b.machine(&[(types[t], n)]);
+            }
+            b.build()
+        })
+}
+
+/// Random jobs that are guaranteed schedulable on any `arb_cluster` (gang
+/// sizes 1–2 always fit the guaranteed V100 machine).
+fn arb_jobs(max_jobs: usize) -> impl Strategy<Value = Vec<(usize, u32, u64, f64)>> {
+    proptest::collection::vec(
+        (0usize..5, 1u32..=2, 1u64..=8, 0.0f64..7200.0),
+        1..=max_jobs,
+    )
+}
+
+fn materialize(cluster: &Cluster, specs: &[(usize, u32, u64, f64)]) -> Vec<Job> {
+    specs
+        .iter()
+        .enumerate()
+        .map(|(i, &(model_idx, gang, epochs, arrival))| {
+            Job::for_model(
+                JobId(i as u32),
+                DlTask::ALL[model_idx],
+                cluster.catalog(),
+                arrival,
+                gang,
+                epochs,
+            )
+        })
+        .collect()
+}
+
+fn schedulers() -> Vec<Box<dyn Scheduler>> {
+    vec![
+        Box::new(HadarScheduler::new(HadarConfig::default())),
+        Box::new(GavelScheduler::paper_default()),
+        Box::new(TiresiasScheduler::paper_default()),
+        Box::new(YarnCsScheduler::new()),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every scheduler finishes every randomly generated workload — the
+    /// engine's internal validation (capacity 1d, gang 1e) would panic on
+    /// any constraint violation along the way.
+    #[test]
+    fn schedulers_complete_random_workloads(
+        cluster in arb_cluster(),
+        specs in arb_jobs(8),
+    ) {
+        let jobs = materialize(&cluster, &specs);
+        for s in schedulers() {
+            let name = s.name().to_owned();
+            let config = SimConfig {
+                penalty: PreemptionPenalty::Fixed(10.0),
+                max_rounds: 500_000,
+                ..SimConfig::default()
+            };
+            let out = Simulation::new(cluster.clone(), jobs.clone(), config).run(s);
+            prop_assert_eq!(out.completed_jobs(), jobs.len(), "{}", name);
+            prop_assert!(!out.timed_out);
+            // Lifecycle oracle: arrivals/starts/migrations/completions in a
+            // legal order for every job.
+            if let Err(e) = hadar::sim::check_lifecycle(out.events(), jobs.len()) {
+                return Err(TestCaseError::fail(format!("{name}: {e}")));
+            }
+        }
+    }
+
+    /// Metric domains: JCT ≥ best-case runtime, utilizations within [0,1],
+    /// queuing delay non-negative, FTF finite and positive.
+    #[test]
+    fn metric_domains_hold(
+        cluster in arb_cluster(),
+        specs in arb_jobs(6),
+    ) {
+        let jobs = materialize(&cluster, &specs);
+        let out = Simulation::new(cluster, jobs, SimConfig::default())
+            .run(HadarScheduler::new(HadarConfig::default()));
+        for rec in &out.records {
+            let jct = rec.jct().expect("completed");
+            prop_assert!(jct >= rec.job.min_runtime() - 1e-6,
+                "job {} finished faster than physics allows", rec.job.id);
+            prop_assert!(rec.queuing_delay().expect("scheduled") >= 0.0);
+        }
+        for u in [out.gpu_utilization(), out.demand_weighted_utilization(), out.held_utilization()] {
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&u));
+        }
+        for rho in out.ftf_values() {
+            prop_assert!(rho.is_finite() && rho >= 0.0);
+        }
+    }
+
+    /// The engine's accounting is conservative: busy GPU-seconds never
+    /// exceed held GPU-seconds, and held never exceeds cluster capacity.
+    #[test]
+    fn gpu_second_accounting(
+        cluster in arb_cluster(),
+        specs in arb_jobs(6),
+    ) {
+        let jobs = materialize(&cluster, &specs);
+        let total = cluster.total_gpus() as f64;
+        let out = Simulation::new(cluster, jobs, SimConfig::default())
+            .run(TiresiasScheduler::paper_default());
+        for round in &out.rounds {
+            prop_assert!(round.busy_gpu_seconds <= round.held_gpu_seconds + 1e-6);
+            prop_assert!(round.held_gpu_seconds <= total * out.round_length + 1e-6);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Straggler injection never breaks completion or the lifecycle log,
+    /// and outcomes remain deterministic under equal straggler seeds.
+    #[test]
+    fn straggler_injection_is_safe_and_deterministic(
+        cluster in arb_cluster(),
+        specs in arb_jobs(5),
+        sseed in 0u64..50,
+    ) {
+        use hadar::sim::StragglerModel;
+        let jobs = materialize(&cluster, &specs);
+        let config = SimConfig {
+            straggler: Some(StragglerModel {
+                incidence: 0.1,
+                slowdown: 0.5,
+                mean_duration_rounds: 3.0,
+                seed: sseed,
+            }),
+            ..SimConfig::default()
+        };
+        let run = || {
+            Simulation::new(cluster.clone(), jobs.clone(), config)
+                .run(HadarScheduler::new(HadarConfig::default()))
+        };
+        let (a, b) = (run(), run());
+        prop_assert_eq!(a.completed_jobs(), jobs.len());
+        prop_assert_eq!(a.jcts(), b.jcts());
+        prop_assert!(hadar::sim::check_lifecycle(a.events(), jobs.len()).is_ok());
+    }
+
+    /// Attaching a rack topology never breaks completion and can only slow
+    /// jobs down relative to the flat network (the rack tier is a pure
+    /// penalty).
+    #[test]
+    fn rack_topology_is_a_pure_penalty(
+        specs in arb_jobs(5),
+        per_rack in 1usize..4,
+    ) {
+        use hadar::cluster::RackTopology;
+        let flat = {
+            let mut b = ClusterBuilder::new();
+            let types = [b.gpu_type("V100"), b.gpu_type("P100"), b.gpu_type("K80")];
+            b.machine(&[(types[0], 2)]);
+            for t in types {
+                b.machine(&[(t, 2)]);
+            }
+            b.build()
+        };
+        let racked = flat
+            .clone()
+            .with_racks(RackTopology::uniform(flat.num_machines(), per_rack));
+        let jobs = materialize(&flat, &specs);
+        let run = |cluster: Cluster| {
+            Simulation::new(cluster, jobs.clone(), SimConfig::default())
+                .run(HadarScheduler::new(HadarConfig::default()))
+        };
+        let (f, r) = (run(flat), run(racked));
+        prop_assert_eq!(f.completed_jobs(), jobs.len());
+        prop_assert_eq!(r.completed_jobs(), jobs.len());
+        // The racked cluster's makespan is never meaningfully shorter
+        // (allow one round of scheduling butterfly effects).
+        prop_assert!(r.makespan() >= f.makespan() * 0.95 - 360.0,
+            "rack tier sped things up: {} vs {}", r.makespan(), f.makespan());
+    }
+}
