@@ -117,8 +117,9 @@ impl GavelScheduler {
             match self.config.policy {
                 GavelPolicy::MaxTotalThroughput => max_total_throughput_allocation(&input)
                     .unwrap_or_else(|| greedy_total_throughput(&input)),
-                GavelPolicy::MaxMinFairness => max_min_allocation(&input)
-                    .unwrap_or_else(|| greedy_total_throughput(&input)),
+                GavelPolicy::MaxMinFairness => {
+                    max_min_allocation(&input).unwrap_or_else(|| greedy_total_throughput(&input))
+                }
             }
         };
         self.y.clear();
@@ -185,9 +186,10 @@ impl Scheduler for GavelScheduler {
             let Some(row) = self.y.get(&s.job.id) else {
                 continue;
             };
-            let recv = self.rounds_received.entry(s.job.id).or_insert_with(|| {
-                vec![0.0; num_types]
-            });
+            let recv = self
+                .rounds_received
+                .entry(s.job.id)
+                .or_insert_with(|| vec![0.0; num_types]);
             for (r, &share) in row.iter().enumerate() {
                 if share > 1e-9 {
                     let priority = share / (recv[r] + 1.0);
@@ -237,7 +239,7 @@ mod tests {
     use super::*;
     use hadar_cluster::Cluster;
     use hadar_sim::{SimConfig, Simulation};
-    use hadar_workload::{generate_trace, ArrivalPattern, DlTask, Job, TraceConfig};
+    use hadar_workload::{generate_trace, ArrivalPattern, Job, TraceConfig};
 
     #[test]
     fn completes_static_trace() {
@@ -296,8 +298,7 @@ mod tests {
             inner: GavelScheduler::paper_default(),
             violations: 0,
         };
-        let out =
-            Simulation::new(cluster, jobs, SimConfig::default()).run(&mut probe);
+        let out = Simulation::new(cluster, jobs, SimConfig::default()).run(&mut probe);
         assert_eq!(out.completed_jobs(), 10);
         assert_eq!(probe.violations, 0, "Gavel must never mix GPU types");
     }
@@ -313,12 +314,12 @@ mod tests {
             },
             cluster.catalog(),
         );
-        let out = Simulation::new(cluster, jobs, SimConfig::default()).run(
-            GavelScheduler::new(GavelConfig {
+        let out = Simulation::new(cluster, jobs, SimConfig::default()).run(GavelScheduler::new(
+            GavelConfig {
                 policy: GavelPolicy::MaxMinFairness,
                 ..GavelConfig::default()
-            }),
-        );
+            },
+        ));
         assert_eq!(out.completed_jobs(), 8);
     }
 
@@ -335,12 +336,12 @@ mod tests {
         );
         // Force the greedy path with a tiny threshold; everything must still
         // complete.
-        let out = Simulation::new(cluster, jobs, SimConfig::default()).run(
-            GavelScheduler::new(GavelConfig {
+        let out = Simulation::new(cluster, jobs, SimConfig::default()).run(GavelScheduler::new(
+            GavelConfig {
                 exact_lp_max_jobs: 0,
                 ..GavelConfig::default()
-            }),
-        );
+            },
+        ));
         assert_eq!(out.completed_jobs(), 10);
     }
 

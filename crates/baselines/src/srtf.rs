@@ -28,7 +28,7 @@ impl SrtfScheduler {
     /// (most-free machines first), keeping the current placement when still
     /// free and still on the job's fastest feasible type.
     fn place(ctx: &SchedulerContext<'_>, usage: &Usage, s: &JobState) -> Option<JobPlacement> {
-        for r in s.job.profile.types_by_preference() {
+        for &r in s.job.profile.types_by_preference() {
             if usage.free_of_type(ctx.cluster, r) < s.job.gang {
                 continue;
             }
@@ -128,8 +128,7 @@ mod tests {
             },
             cluster.catalog(),
         );
-        let out =
-            Simulation::new(cluster, jobs, SimConfig::default()).run(SrtfScheduler::new());
+        let out = Simulation::new(cluster, jobs, SimConfig::default()).run(SrtfScheduler::new());
         assert_eq!(out.completed_jobs(), 16);
         assert!(!out.timed_out);
     }
@@ -158,11 +157,14 @@ mod tests {
         let cluster = Cluster::paper_simulation();
         let job = Job::for_model(JobId(0), DlTask::ResNet50, cluster.catalog(), 0.0, 4, 5);
         let v100_time = job.min_runtime();
-        let out = Simulation::new(cluster, vec![job], SimConfig::default())
-            .run(SrtfScheduler::new());
+        let out =
+            Simulation::new(cluster, vec![job], SimConfig::default()).run(SrtfScheduler::new());
         let jct = out.records[0].jct().unwrap();
         // Ran on V100s (plus one checkpoint stall): far faster than P100/K80.
-        assert!(jct < v100_time + 360.0 + 15.0, "jct={jct}, v100={v100_time}");
+        assert!(
+            jct < v100_time + 360.0 + 15.0,
+            "jct={jct}, v100={v100_time}"
+        );
     }
 
     #[test]

@@ -86,7 +86,12 @@ impl TiresiasScheduler {
     /// its GPUs when they are still available and consolidate onto as few
     /// machines as possible (Tiresias ships a consolidating placement
     /// component); neither consults per-type throughput.
-    fn place(&self, ctx: &SchedulerContext<'_>, usage: &Usage, s: &JobState) -> Option<JobPlacement> {
+    fn place(
+        &self,
+        ctx: &SchedulerContext<'_>,
+        usage: &Usage,
+        s: &JobState,
+    ) -> Option<JobPlacement> {
         // Sticky: reuse the previous placement when still free.
         if !s.placement.is_empty()
             && s.placement
@@ -293,7 +298,14 @@ mod tests {
         // service passes 36 000 GPU-s (t = 18 000 s).
         let long = Job::for_model(JobId(0), DlTask::ResNet50, cluster.catalog(), 0.0, 2, 300);
         // Arrives after the long job has demoted to queue 1.
-        let short = Job::for_model(JobId(1), DlTask::ResNet18, cluster.catalog(), 19_000.0, 2, 20);
+        let short = Job::for_model(
+            JobId(1),
+            DlTask::ResNet18,
+            cluster.catalog(),
+            19_000.0,
+            2,
+            20,
+        );
         let short_solo = short.min_runtime();
         let out = Simulation::new(cluster, vec![long, short], SimConfig::default())
             .run(TiresiasScheduler::paper_default());

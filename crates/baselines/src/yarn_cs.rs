@@ -143,8 +143,7 @@ mod tests {
             },
             cluster.catalog(),
         );
-        let out =
-            Simulation::new(cluster, jobs, SimConfig::default()).run(YarnCsScheduler::new());
+        let out = Simulation::new(cluster, jobs, SimConfig::default()).run(YarnCsScheduler::new());
         assert_eq!(out.completed_jobs(), 12);
         assert!(!out.timed_out);
     }
@@ -161,8 +160,7 @@ mod tests {
             },
             cluster.catalog(),
         );
-        let out =
-            Simulation::new(cluster, jobs, SimConfig::default()).run(YarnCsScheduler::new());
+        let out = Simulation::new(cluster, jobs, SimConfig::default()).run(YarnCsScheduler::new());
         for r in &out.records {
             assert_eq!(
                 r.reallocations, 1,

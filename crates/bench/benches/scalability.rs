@@ -1,8 +1,9 @@
-//! Criterion counterpart of Fig. 7: per-round scheduling-decision cost for
-//! Hadar's dual subroutine and Gavel's policy LP as the queue grows (the
-//! cluster scales with the workload, as in the paper).
+//! Counterpart of Fig. 7: per-round scheduling-decision cost for Hadar's
+//! dual subroutine and Gavel's policy LP as the queue grows (the cluster
+//! scales with the workload, as in the paper). Plain timing harness
+//! (`cargo bench --bench scalability`); prints median wall time per call.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Instant;
 
 use hadar_bench::figures::fig7::scaled_cluster;
 use hadar_cluster::{CommCostModel, Usage};
@@ -27,14 +28,25 @@ fn states_for(n: usize) -> (hadar_cluster::Cluster, Vec<JobState>) {
     (cluster, states)
 }
 
-fn bench_hadar_decision(c: &mut Criterion) {
-    let mut group = c.benchmark_group("hadar_round_decision");
-    group.sample_size(10);
+fn median_secs(mut f: impl FnMut(), samples: usize) -> f64 {
+    let mut times: Vec<f64> = (0..samples)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    times[times.len() / 2]
+}
+
+fn bench_hadar_decision() {
+    println!("hadar_round_decision (greedy subroutine), 10 samples each:");
     for n in [32usize, 128, 512] {
         let (cluster, states) = states_for(n);
         let comm = CommCostModel::default();
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| {
+        let med = median_secs(
+            || {
                 let prices = PriceState::compute(&states, &cluster, &EffectiveThroughput, 0.0);
                 let env = AllocEnv {
                     cluster: &cluster,
@@ -48,16 +60,16 @@ fn bench_hadar_decision(c: &mut Criterion) {
                 };
                 let usage = Usage::empty(&cluster);
                 let queue: Vec<&JobState> = states.iter().collect();
-                greedy_allocation(&queue, &env, &usage)
-            })
-        });
+                std::hint::black_box(greedy_allocation(&queue, &env, &usage));
+            },
+            10,
+        );
+        println!("  n={n:>4}: {:.3} ms", med * 1e3);
     }
-    group.finish();
 }
 
-fn bench_gavel_lp(c: &mut Criterion) {
-    let mut group = c.benchmark_group("gavel_policy_lp");
-    group.sample_size(10);
+fn bench_gavel_lp() {
+    println!("gavel_policy_lp, 10 samples each:");
     for n in [32usize, 128, 512] {
         let (cluster, states) = states_for(n);
         let num_types = cluster.num_types();
@@ -75,12 +87,17 @@ fn bench_gavel_lp(c: &mut Criterion) {
                 .map(|r| cluster.total_of_type(hadar_cluster::GpuTypeId(r as u16)))
                 .collect(),
         };
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| max_total_throughput_allocation(&input).expect("feasible"))
-        });
+        let med = median_secs(
+            || {
+                std::hint::black_box(max_total_throughput_allocation(&input).expect("feasible"));
+            },
+            10,
+        );
+        println!("  n={n:>4}: {:.3} ms", med * 1e3);
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_hadar_decision, bench_gavel_lp);
-criterion_main!(benches);
+fn main() {
+    bench_hadar_decision();
+    bench_gavel_lp();
+}

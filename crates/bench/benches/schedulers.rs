@@ -1,28 +1,32 @@
 //! End-to-end simulation cost per scheduler: one complete 24-job static
 //! trace on the paper's 60-GPU cluster. Tracks how expensive a *whole*
 //! evaluation run is for each policy (Hadar pays for its per-round
-//! optimization; the baselines are near-free by comparison).
+//! optimization; the baselines are near-free by comparison). Plain timing
+//! harness (`cargo bench --bench schedulers`).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Instant;
 
 use hadar_bench::{paper_sim_scenario, run_scenario, SchedulerKind};
 use hadar_workload::ArrivalPattern;
 
-fn bench_end_to_end(c: &mut Criterion) {
-    let mut group = c.benchmark_group("end_to_end_sim_24jobs");
-    group.sample_size(10);
+fn main() {
+    println!("end_to_end_sim_24jobs, 10 samples each:");
     for kind in SchedulerKind::HEADLINE {
-        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, &k| {
-            b.iter(|| {
+        let mut times: Vec<f64> = (0..10)
+            .map(|_| {
+                let t0 = Instant::now();
                 let s = paper_sim_scenario(24, 9, ArrivalPattern::Static);
-                let out = run_scenario(s.cluster, s.jobs, s.config, k);
+                let out = run_scenario(s.cluster, s.jobs, s.config, kind);
                 assert_eq!(out.completed_jobs(), 24);
-                out.mean_jct()
+                std::hint::black_box(out.mean_jct());
+                t0.elapsed().as_secs_f64()
             })
-        });
+            .collect();
+        times.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        println!(
+            "  {:<12} median {:.1} ms",
+            kind.name(),
+            times[times.len() / 2] * 1e3
+        );
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_end_to_end);
-criterion_main!(benches);

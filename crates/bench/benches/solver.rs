@@ -1,8 +1,8 @@
 //! LP-solver microbenchmarks: the exact simplex on Gavel-shaped
 //! transportation LPs vs the density-greedy approximation, across instance
-//! sizes.
+//! sizes. Plain timing harness (`cargo bench --bench solver`).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Instant;
 
 use hadar_solver::{greedy_total_throughput, max_total_throughput_allocation, GavelLpInput};
 
@@ -19,7 +19,11 @@ fn instance(jobs: usize, seed: u64) -> GavelLpInput {
         throughput: (0..jobs)
             .map(|_| {
                 let base = 1.0 + 30.0 * next();
-                vec![base, base * (0.3 + 0.4 * next()), base * (0.05 + 0.2 * next())]
+                vec![
+                    base,
+                    base * (0.3 + 0.4 * next()),
+                    base * (0.05 + 0.2 * next()),
+                ]
             })
             .collect(),
         gang: (0..jobs).map(|_| 1 + (next() * 4.0) as u32).collect(),
@@ -31,28 +35,39 @@ fn instance(jobs: usize, seed: u64) -> GavelLpInput {
     }
 }
 
-fn bench_simplex(c: &mut Criterion) {
-    let mut group = c.benchmark_group("simplex_transportation");
-    group.sample_size(10);
+fn median_secs(mut f: impl FnMut(), samples: usize) -> f64 {
+    let mut times: Vec<f64> = (0..samples)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    times[times.len() / 2]
+}
+
+fn main() {
+    println!("simplex_transportation, 10 samples each:");
     for n in [32usize, 128, 512] {
         let input = instance(n, 0xABCD);
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| max_total_throughput_allocation(&input).expect("feasible"))
-        });
+        let med = median_secs(
+            || {
+                std::hint::black_box(max_total_throughput_allocation(&input).expect("feasible"));
+            },
+            10,
+        );
+        println!("  n={n:>4}: {:.3} ms", med * 1e3);
     }
-    group.finish();
-}
-
-fn bench_greedy(c: &mut Criterion) {
-    let mut group = c.benchmark_group("greedy_transportation");
+    println!("greedy_transportation, 10 samples each:");
     for n in [32usize, 128, 512, 2048] {
         let input = instance(n, 0xABCD);
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| greedy_total_throughput(&input))
-        });
+        let med = median_secs(
+            || {
+                std::hint::black_box(greedy_total_throughput(&input));
+            },
+            10,
+        );
+        println!("  n={n:>4}: {:.3} ms", med * 1e3);
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_simplex, bench_greedy);
-criterion_main!(benches);

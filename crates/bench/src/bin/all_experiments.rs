@@ -2,42 +2,53 @@
 //! print the consolidated summary (the source of EXPERIMENTS.md's
 //! "measured" columns). CSV series land under `results/`.
 //!
-//! Usage: `all_experiments [--quick]`.
+//! Usage: `all_experiments [--quick] [--threads N]`.
+//!
+//! Every simulation cell of every experiment is submitted through one
+//! shared [`hadar_sim::SweepRunner`]; `--threads 1` gives the strict serial
+//! reference run, and any thread count produces byte-identical CSVs (except
+//! `fig7_scalability.csv`, whose values *are* wall-clock measurements).
 
 use hadar_bench::figures;
 use hadar_bench::figures::fig3::Panel;
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let runner = hadar_bench::runner_from_cli(&args);
     let t0 = std::time::Instant::now();
     let results = vec![
         figures::table2::run(quick),
-        figures::fig3::run(Panel::Static, quick),
-        figures::fig3::run(Panel::Continuous, quick),
-        figures::fig4::run(quick),
-        figures::fig5::run(quick),
-        figures::fig6::run(quick),
+        figures::fig3::run(Panel::Static, quick, &runner),
+        figures::fig3::run(Panel::Continuous, quick, &runner),
+        figures::fig4::run(quick, &runner),
+        figures::fig5::run(quick, &runner),
+        figures::fig6::run(quick, &runner),
         figures::fig7::run(quick),
-        figures::fig8::run(quick),
-        figures::fig9::run(quick),
-        figures::table3::run(quick),
-        figures::table4::run(quick),
-        figures::ablation::run(quick),
-        figures::stragglers::run(quick),
-        figures::extensions::run(quick),
+        figures::fig8::run(quick, &runner),
+        figures::fig9::run(quick, &runner),
+        figures::table3::run(quick, &runner),
+        figures::table4::run(quick, &runner),
+        figures::ablation::run(quick, &runner),
+        figures::stragglers::run(quick, &runner),
+        figures::extensions::run(quick, &runner),
     ];
     println!("==============================================================");
     for r in &results {
         println!("--- {} ---", r.name);
-        println!("{}", r.summary);
-        for p in &r.csv_paths {
-            println!("  wrote {}", p.display());
-        }
+        figures::print_report(r);
         println!();
     }
+    let cells: usize = results.iter().map(|r| r.timings.len()).sum();
+    let cell_seconds: f64 = results
+        .iter()
+        .flat_map(|r| r.timings.iter().map(|(_, s)| s))
+        .sum();
     println!(
-        "all {} experiments regenerated in {:?}",
+        "all {} experiments regenerated in {:?} \
+         ({cells} sweep cells, {cell_seconds:.1}s of simulation, {} worker threads)",
         results.len(),
-        t0.elapsed()
+        t0.elapsed(),
+        runner.threads(),
     );
 }

@@ -1,11 +1,13 @@
 //! Regenerate Fig. 3 (completed-jobs CDF). Usage:
-//! `fig3 [static|continuous] [--quick]` (default: both panels, full size).
+//! `fig3 [static|continuous] [--quick] [--threads N]`
+//! (default: both panels, full size).
 
 use hadar_bench::figures::fig3::{run, Panel};
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
+    let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
+    let runner = hadar_bench::runner_from_cli(&args);
     let panels: Vec<Panel> = if args.iter().any(|a| a == "static") {
         vec![Panel::Static]
     } else if args.iter().any(|a| a == "continuous") {
@@ -14,10 +16,7 @@ fn main() {
         vec![Panel::Static, Panel::Continuous]
     };
     for p in panels {
-        let r = run(p, quick);
-        println!("{}", r.summary);
-        for path in r.csv_paths {
-            println!("  wrote {}", path.display());
-        }
+        let r = run(p, quick, &runner);
+        hadar_bench::figures::print_report(&r);
     }
 }

@@ -1,10 +1,9 @@
 //! Regenerate Fig7 of the paper. Pass `--quick` for a reduced-size run.
+//! Fig. 7 measures scheduler decision wall time, so its cells always run
+//! serially (`--threads` does not apply).
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let r = hadar_bench::figures::fig7::run(quick);
-    println!("{}", r.summary);
-    for path in r.csv_paths {
-        println!("  wrote {}", path.display());
-    }
+    hadar_bench::figures::print_report(&r);
 }

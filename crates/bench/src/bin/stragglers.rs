@@ -1,11 +1,10 @@
 //! Run the straggler-resilience comparison. Pass `--quick` for a
-//! reduced-size run.
+//! reduced-size run and `--threads N` to control the sweep worker count.
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    let r = hadar_bench::figures::stragglers::run(quick);
-    println!("{}", r.summary);
-    for path in r.csv_paths {
-        println!("  wrote {}", path.display());
-    }
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let runner = hadar_bench::runner_from_cli(&args);
+    let r = hadar_bench::figures::stragglers::run(quick, &runner);
+    hadar_bench::figures::print_report(&r);
 }

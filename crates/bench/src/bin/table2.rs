@@ -1,10 +1,8 @@
 //! Regenerate Table2 of the paper. Pass `--quick` for a reduced-size run.
+//! Table II runs no simulations, so `--threads` does not apply.
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let r = hadar_bench::figures::table2::run(quick);
-    println!("{}", r.summary);
-    for path in r.csv_paths {
-        println!("  wrote {}", path.display());
-    }
+    hadar_bench::figures::print_report(&r);
 }

@@ -3,7 +3,7 @@
 //! objectives and the allocation-cost relationship (see
 //! `hadar_core::theory`). A margin ≥ 1.0 means the `2α` guarantee held.
 
-use hadar_cluster::{CommCostModel, Cluster};
+use hadar_cluster::{Cluster, CommCostModel};
 use hadar_core::find_alloc::AllocEnv;
 use hadar_core::{audit_round, EffectiveThroughput, PriceState};
 use hadar_sim::JobState;

@@ -97,6 +97,23 @@ pub fn results_dir() -> std::path::PathBuf {
     )
 }
 
+/// Build the sweep runner for an experiment binary from its raw arguments:
+/// `--threads N` (N ≥ 1; 1 = strict serial) forces the worker count,
+/// otherwise `HADAR_THREADS` or the machine's available parallelism
+/// (capped at 16) decides. Exits with an error on a malformed value.
+pub fn runner_from_cli(args: &[String]) -> hadar_sim::SweepRunner {
+    let Some(i) = args.iter().position(|a| a == "--threads") else {
+        return hadar_sim::SweepRunner::from_env();
+    };
+    match args.get(i + 1).and_then(|v| v.parse::<usize>().ok()) {
+        Some(n) if n >= 1 => hadar_sim::SweepRunner::new(n),
+        _ => {
+            eprintln!("error: --threads expects a positive integer");
+            std::process::exit(2);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -123,12 +140,7 @@ mod tests {
             SchedulerKind::YarnCs,
             SchedulerKind::Srtf,
         ] {
-            let out = run_scenario(
-                cluster.clone(),
-                jobs.clone(),
-                SimConfig::default(),
-                kind,
-            );
+            let out = run_scenario(cluster.clone(), jobs.clone(), SimConfig::default(), kind);
             assert_eq!(out.completed_jobs(), 6, "{}", kind.name());
             assert_eq!(out.scheduler, kind.name());
         }

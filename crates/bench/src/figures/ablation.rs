@@ -11,7 +11,7 @@
 use hadar_core::profiler::ProfilerConfig;
 use hadar_core::{AllocMode, Features, HadarConfig, HadarScheduler};
 use hadar_metrics::CsvWriter;
-use hadar_sim::{CheckpointModel, PreemptionPenalty, Simulation};
+use hadar_sim::{CheckpointModel, PreemptionPenalty, SimOutcome, Simulation, SweepRunner};
 use hadar_workload::ArrivalPattern;
 
 use crate::figures::{results_dir, FigureResult};
@@ -93,10 +93,22 @@ fn variants() -> Vec<Variant> {
     ]
 }
 
-/// Run the ablation grid.
-pub fn run(quick: bool) -> FigureResult {
+/// Run the ablation grid, fanning the per-variant cells out over `runner`.
+pub fn run(quick: bool, runner: &SweepRunner) -> FigureResult {
     let num_jobs = if quick { 30 } else { 160 };
     let seed = 42;
+
+    let cells: Vec<Box<dyn FnOnce() -> SimOutcome + Send>> = variants()
+        .into_iter()
+        .map(|v| {
+            Box::new(move || {
+                let mut s = paper_sim_scenario(num_jobs, seed, ArrivalPattern::Static);
+                s.config.penalty = v.penalty;
+                Simulation::new(s.cluster, s.jobs, s.config).run(HadarScheduler::new((v.config)()))
+            }) as Box<dyn FnOnce() -> SimOutcome + Send>
+        })
+        .collect();
+    let results = runner.run(cells);
 
     let mut csv = CsvWriter::new(&[
         "variant",
@@ -107,12 +119,11 @@ pub fn run(quick: bool) -> FigureResult {
         "reallocation_rate",
     ]);
     let mut summary = format!("Ablation: Hadar design choices ({num_jobs} static jobs)\n");
+    let mut timings = Vec::new();
 
-    for v in variants() {
-        let mut s = paper_sim_scenario(num_jobs, seed, ArrivalPattern::Static);
-        s.config.penalty = v.penalty;
-        let out = Simulation::new(s.cluster, s.jobs, s.config)
-            .run(HadarScheduler::new((v.config)()));
+    for (v, cell) in variants().into_iter().zip(results) {
+        let out = cell.outcome;
+        timings.push((v.label.to_owned(), cell.wall_seconds));
         assert_eq!(out.completed_jobs(), num_jobs, "{}", v.label);
         csv.row(vec![
             v.label.to_owned(),
@@ -134,7 +145,7 @@ pub fn run(quick: bool) -> FigureResult {
 
     let path = results_dir().join("ablation_hadar.csv");
     csv.write_to(&path).expect("write ablation csv");
-    FigureResult::new("ablation", summary, vec![path])
+    FigureResult::new("ablation", summary, vec![path]).with_timings(timings)
 }
 
 #[cfg(test)]
@@ -143,7 +154,7 @@ mod tests {
 
     #[test]
     fn all_variants_complete() {
-        let r = run(true);
+        let r = run(true, &SweepRunner::serial());
         let csv = std::fs::read_to_string(&r.csv_paths[0]).unwrap();
         assert_eq!(csv.lines().count(), 1 + variants().len());
     }

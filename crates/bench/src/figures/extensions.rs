@@ -11,6 +11,7 @@
 
 use hadar_cluster::{Cluster, ClusterBuilder};
 use hadar_metrics::CsvWriter;
+use hadar_sim::{SimOutcome, SweepRunner};
 use hadar_workload::{generate_trace, ArrivalPattern, TraceConfig};
 
 use crate::experiments::{run_scenario, SchedulerKind};
@@ -32,31 +33,54 @@ pub fn fragmented_cluster() -> Cluster {
     b.build()
 }
 
-/// Run the extension comparison.
-pub fn run(quick: bool) -> FigureResult {
+/// Run the extension comparison, fanning the (cluster × scheduler) cells
+/// out over `runner`.
+pub fn run(quick: bool, runner: &SweepRunner) -> FigureResult {
     let num_jobs = if quick { 24 } else { 160 };
     let seed = 42;
 
-    let mut csv = CsvWriter::new(&["cluster", "scheduler", "mean_jct_hours", "util"]);
-    let mut summary = format!(
-        "Extension: Hadar vs heterogeneity-aware SRTF ({num_jobs} static jobs)\n"
-    );
-
-    for (label, cluster) in [
+    let grid: Vec<(&'static str, Cluster, SchedulerKind)> = [
         ("abundant (paper)", Cluster::paper_simulation()),
         ("fragmented (2-GPU nodes)", fragmented_cluster()),
-    ] {
-        for kind in [SchedulerKind::Hadar, SchedulerKind::Srtf] {
-            let jobs = generate_trace(
-                &TraceConfig {
-                    num_jobs,
-                    seed,
-                    pattern: ArrivalPattern::Static,
-                },
-                cluster.catalog(),
-            );
-            let s = paper_sim_scenario(1, 0, ArrivalPattern::Static); // config template
-            let out = run_scenario(cluster.clone(), jobs, s.config, kind);
+    ]
+    .into_iter()
+    .flat_map(|(label, cluster)| {
+        [SchedulerKind::Hadar, SchedulerKind::Srtf]
+            .into_iter()
+            .map(move |kind| (label, cluster.clone(), kind))
+    })
+    .collect();
+
+    let cells: Vec<Box<dyn FnOnce() -> SimOutcome + Send>> = grid
+        .iter()
+        .map(|(_, cluster, kind)| {
+            let (cluster, kind) = (cluster.clone(), *kind);
+            Box::new(move || {
+                let jobs = generate_trace(
+                    &TraceConfig {
+                        num_jobs,
+                        seed,
+                        pattern: ArrivalPattern::Static,
+                    },
+                    cluster.catalog(),
+                );
+                let s = paper_sim_scenario(1, 0, ArrivalPattern::Static); // config template
+                run_scenario(cluster, jobs, s.config, kind)
+            }) as Box<dyn FnOnce() -> SimOutcome + Send>
+        })
+        .collect();
+    let results = runner.run(cells);
+
+    let mut csv = CsvWriter::new(&["cluster", "scheduler", "mean_jct_hours", "util"]);
+    let mut summary =
+        format!("Extension: Hadar vs heterogeneity-aware SRTF ({num_jobs} static jobs)\n");
+    let mut timings = Vec::new();
+
+    {
+        for ((label, _, kind), cell) in grid.iter().zip(results) {
+            let (label, kind) = (*label, *kind);
+            let out = cell.outcome;
+            timings.push((format!("{label} / {}", kind.name()), cell.wall_seconds));
             assert_eq!(out.completed_jobs(), num_jobs, "{label}/{}", kind.name());
             csv.row(vec![
                 label.to_owned(),
@@ -75,7 +99,7 @@ pub fn run(quick: bool) -> FigureResult {
 
     let path = results_dir().join("extension_srtf.csv");
     csv.write_to(&path).expect("write extensions csv");
-    FigureResult::new("extensions", summary, vec![path])
+    FigureResult::new("extensions", summary, vec![path]).with_timings(timings)
 }
 
 #[cfg(test)]
@@ -94,7 +118,7 @@ mod tests {
 
     #[test]
     fn quick_run_covers_both_clusters() {
-        let r = run(true);
+        let r = run(true, &SweepRunner::serial());
         let csv = std::fs::read_to_string(&r.csv_paths[0]).unwrap();
         assert_eq!(csv.lines().count(), 5);
         assert!(csv.contains("fragmented"));

@@ -2,6 +2,7 @@
 //! static (3a) and continuous (3b) traces, under all four schedulers.
 
 use hadar_metrics::{line_chart, CsvWriter};
+use hadar_sim::{SimOutcome, SweepRunner};
 use hadar_workload::ArrivalPattern;
 
 use crate::experiments::{run_scenario, SchedulerKind};
@@ -32,21 +33,41 @@ impl Panel {
     }
 }
 
-/// Regenerate one panel of Fig. 3.
-pub fn run(panel: Panel, quick: bool) -> FigureResult {
+/// Regenerate one panel of Fig. 3, fanning the per-scheduler cells out over
+/// `runner`.
+pub fn run(panel: Panel, quick: bool, runner: &SweepRunner) -> FigureResult {
     let num_jobs = if quick { 40 } else { 480 };
     let seed = 42;
+
+    let cells: Vec<Box<dyn FnOnce() -> SimOutcome + Send>> = SchedulerKind::HEADLINE
+        .into_iter()
+        .map(|kind| {
+            Box::new(move || {
+                let s = paper_sim_scenario(num_jobs, seed, panel.pattern());
+                run_scenario(s.cluster, s.jobs, s.config, kind)
+            }) as Box<dyn FnOnce() -> SimOutcome + Send>
+        })
+        .collect();
+    let results = runner.run(cells);
 
     let mut csv = CsvWriter::new(&["scheduler", "time_hours", "fraction_completed"]);
     let mut summary = format!("Fig. 3 ({}): {num_jobs} jobs, seed {seed}\n", panel.label());
     let mut hadar_mean = 0.0;
     let mut hadar_median = 0.0;
     let mut cdf_series: Vec<(String, Vec<(f64, f64)>)> = Vec::new();
+    let mut timings = Vec::new();
 
-    for kind in SchedulerKind::HEADLINE {
-        let s = paper_sim_scenario(num_jobs, seed, panel.pattern());
-        let out = run_scenario(s.cluster, s.jobs, s.config, kind);
-        assert_eq!(out.completed_jobs(), num_jobs, "{} run incomplete", out.scheduler);
+    // Consume results in cell order so the ratios against Hadar (always the
+    // first cell) and the CSV stay identical to a serial run.
+    for (kind, cell) in SchedulerKind::HEADLINE.into_iter().zip(results) {
+        let out = cell.outcome;
+        timings.push((out.scheduler.clone(), cell.wall_seconds));
+        assert_eq!(
+            out.completed_jobs(),
+            num_jobs,
+            "{} run incomplete",
+            out.scheduler
+        );
         let cdf = out.completion_cdf();
         for &(t, frac) in &cdf {
             csv.row(vec![
@@ -87,11 +108,7 @@ pub fn run(panel: Panel, quick: bool) -> FigureResult {
 
     let path = results_dir().join(format!("fig3_{}.csv", panel.label()));
     csv.write_to(&path).expect("write fig3 csv");
-    FigureResult::new(
-        &format!("fig3_{}", panel.label()),
-        summary,
-        vec![path],
-    )
+    FigureResult::new(&format!("fig3_{}", panel.label()), summary, vec![path]).with_timings(timings)
 }
 
 #[cfg(test)]
@@ -100,7 +117,8 @@ mod tests {
 
     #[test]
     fn quick_static_panel_runs() {
-        let r = run(Panel::Static, true);
+        let r = run(Panel::Static, true, &SweepRunner::serial());
+        assert_eq!(r.timings.len(), 4);
         assert!(r.summary.contains("Hadar"));
         assert!(r.csv_paths[0].exists());
         let csv = std::fs::read_to_string(&r.csv_paths[0]).unwrap();

@@ -13,16 +13,28 @@
 //!   YARN-CS by construction).
 
 use hadar_metrics::{bar_chart, CsvWriter};
+use hadar_sim::{SimOutcome, SweepRunner};
 use hadar_workload::ArrivalPattern;
 
 use crate::experiments::{run_scenario, SchedulerKind};
 use crate::figures::{results_dir, FigureResult};
 use crate::scenarios::paper_sim_scenario;
 
-/// Regenerate Fig. 4.
-pub fn run(quick: bool) -> FigureResult {
+/// Regenerate Fig. 4, fanning the per-scheduler cells out over `runner`.
+pub fn run(quick: bool, runner: &SweepRunner) -> FigureResult {
     let num_jobs = if quick { 40 } else { 480 };
     let seed = 42;
+
+    let cells: Vec<Box<dyn FnOnce() -> SimOutcome + Send>> = SchedulerKind::HEADLINE
+        .into_iter()
+        .map(|kind| {
+            Box::new(move || {
+                let s = paper_sim_scenario(num_jobs, seed, ArrivalPattern::Static);
+                run_scenario(s.cluster, s.jobs, s.config, kind)
+            }) as Box<dyn FnOnce() -> SimOutcome + Send>
+        })
+        .collect();
+    let results = runner.run(cells);
 
     let mut csv = CsvWriter::new(&[
         "scheduler",
@@ -31,10 +43,11 @@ pub fn run(quick: bool) -> FigureResult {
         "cluster_wide_utilization",
     ]);
     let mut summary = format!("Fig. 4: GPU utilization, {num_jobs} static jobs, seed {seed}\n");
+    let mut timings = Vec::new();
 
-    for kind in SchedulerKind::HEADLINE {
-        let s = paper_sim_scenario(num_jobs, seed, ArrivalPattern::Static);
-        let out = run_scenario(s.cluster, s.jobs, s.config, kind);
+    for cell in results {
+        let out = cell.outcome;
+        timings.push((out.scheduler.clone(), cell.wall_seconds));
         let (dw, ht, cw) = (
             out.demand_weighted_utilization(),
             out.held_utilization(),
@@ -60,7 +73,12 @@ pub fn run(quick: bool) -> FigureResult {
         .iter()
         .zip(csv.as_str().lines().skip(1))
         .map(|(k, line)| {
-            let v: f64 = line.split(',').nth(1).expect("column").parse().expect("number");
+            let v: f64 = line
+                .split(',')
+                .nth(1)
+                .expect("column")
+                .parse()
+                .expect("number");
             (k.name(), v * 100.0)
         })
         .collect();
@@ -73,7 +91,7 @@ pub fn run(quick: bool) -> FigureResult {
 
     let path = results_dir().join("fig4_utilization.csv");
     csv.write_to(&path).expect("write fig4 csv");
-    FigureResult::new("fig4", summary, vec![path])
+    FigureResult::new("fig4", summary, vec![path]).with_timings(timings)
 }
 
 #[cfg(test)]
@@ -82,7 +100,7 @@ mod tests {
 
     #[test]
     fn quick_run_produces_all_rows() {
-        let r = run(true);
+        let r = run(true, &SweepRunner::serial());
         let csv = std::fs::read_to_string(&r.csv_paths[0]).unwrap();
         assert_eq!(csv.lines().count(), 5); // header + 4 schedulers
         for name in ["Hadar", "Gavel", "Tiresias", "YARN-CS"] {

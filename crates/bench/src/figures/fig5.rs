@@ -2,6 +2,7 @@
 //! Hadar. Lower ρ = fairer/faster than the 1/n-share baseline.
 
 use hadar_metrics::{bar_chart, CsvWriter};
+use hadar_sim::{SimOutcome, SweepRunner};
 use hadar_workload::ArrivalPattern;
 
 use crate::experiments::{run_scenario, SchedulerKind};
@@ -15,19 +16,33 @@ const SCHEDULERS: [SchedulerKind; 3] = [
     SchedulerKind::Tiresias,
 ];
 
-/// Regenerate Fig. 5.
-pub fn run(quick: bool) -> FigureResult {
+/// Regenerate Fig. 5, fanning the per-scheduler cells out over `runner`.
+pub fn run(quick: bool, runner: &SweepRunner) -> FigureResult {
     let num_jobs = if quick { 40 } else { 480 };
     let seed = 42;
+
+    let cells: Vec<Box<dyn FnOnce() -> SimOutcome + Send>> = SCHEDULERS
+        .into_iter()
+        .map(|kind| {
+            Box::new(move || {
+                let s = paper_sim_scenario(num_jobs, seed, ArrivalPattern::Static);
+                run_scenario(s.cluster, s.jobs, s.config, kind)
+            }) as Box<dyn FnOnce() -> SimOutcome + Send>
+        })
+        .collect();
+    let results = runner.run(cells);
 
     let mut csv = CsvWriter::new(&["scheduler", "mean_ftf", "median_ftf", "p95_ftf", "max_ftf"]);
     let mut dist = CsvWriter::new(&["scheduler", "job_id", "ftf"]);
     let mut summary = format!("Fig. 5: finish-time fairness, {num_jobs} static jobs\n");
     let mut hadar_mean = 0.0;
+    let mut timings = Vec::new();
 
-    for kind in SCHEDULERS {
-        let s = paper_sim_scenario(num_jobs, seed, ArrivalPattern::Static);
-        let out = run_scenario(s.cluster, s.jobs, s.config, kind);
+    // Cell order is fixed (Hadar first), so the "(x Hadar)" ratios match a
+    // serial run exactly.
+    for (kind, cell) in SCHEDULERS.into_iter().zip(results) {
+        let out = cell.outcome;
+        timings.push((out.scheduler.clone(), cell.wall_seconds));
         let stats = out.ftf();
         if kind == SchedulerKind::Hadar {
             hadar_mean = stats.mean;
@@ -40,7 +55,11 @@ pub fn run(quick: bool) -> FigureResult {
             format!("{:.4}", stats.max),
         ]);
         for (i, v) in out.ftf_values().iter().enumerate() {
-            dist.row(vec![out.scheduler.clone(), i.to_string(), format!("{v:.5}")]);
+            dist.row(vec![
+                out.scheduler.clone(),
+                i.to_string(),
+                format!("{v:.5}"),
+            ]);
         }
         let vs = if hadar_mean > 0.0 && kind != SchedulerKind::Hadar {
             format!(" ({:.2}x Hadar)", stats.mean / hadar_mean)
@@ -75,8 +94,9 @@ pub fn run(quick: bool) -> FigureResult {
     let path = results_dir().join("fig5_ftf.csv");
     let dist_path = results_dir().join("fig5_ftf_distribution.csv");
     csv.write_to(&path).expect("write fig5 csv");
-    dist.write_to(&dist_path).expect("write fig5 distribution csv");
-    FigureResult::new("fig5", summary, vec![path, dist_path])
+    dist.write_to(&dist_path)
+        .expect("write fig5 distribution csv");
+    FigureResult::new("fig5", summary, vec![path, dist_path]).with_timings(timings)
 }
 
 #[cfg(test)]
@@ -85,7 +105,7 @@ mod tests {
 
     #[test]
     fn quick_run_excludes_yarn() {
-        let r = run(true);
+        let r = run(true, &SweepRunner::serial());
         let csv = std::fs::read_to_string(&r.csv_paths[0]).unwrap();
         assert!(!csv.contains("YARN"));
         assert_eq!(csv.lines().count(), 4);

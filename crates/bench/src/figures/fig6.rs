@@ -3,14 +3,15 @@
 //! minimization" (the [`hadar_core::MinMakespan`] utility).
 
 use hadar_metrics::{bar_chart, CsvWriter};
+use hadar_sim::{SimOutcome, SweepRunner};
 use hadar_workload::ArrivalPattern;
 
 use crate::experiments::{run_scenario, SchedulerKind};
 use crate::figures::{results_dir, FigureResult};
 use crate::scenarios::paper_sim_scenario;
 
-/// Regenerate Fig. 6.
-pub fn run(quick: bool) -> FigureResult {
+/// Regenerate Fig. 6, fanning the per-scheduler cells out over `runner`.
+pub fn run(quick: bool, runner: &SweepRunner) -> FigureResult {
     let num_jobs = if quick { 40 } else { 480 };
     let seed = 42;
 
@@ -19,18 +20,35 @@ pub fn run(quick: bool) -> FigureResult {
         SchedulerKind::Gavel,
         SchedulerKind::Tiresias,
     ];
+    let cells: Vec<Box<dyn FnOnce() -> SimOutcome + Send>> = schedulers
+        .into_iter()
+        .map(|kind| {
+            Box::new(move || {
+                let s = paper_sim_scenario(num_jobs, seed, ArrivalPattern::Static);
+                run_scenario(s.cluster, s.jobs, s.config, kind)
+            }) as Box<dyn FnOnce() -> SimOutcome + Send>
+        })
+        .collect();
+    let results = runner.run(cells);
+
     let mut csv = CsvWriter::new(&["scheduler", "makespan_hours"]);
     let mut summary = format!("Fig. 6: makespan, {num_jobs} static jobs\n");
     let mut hadar_makespan = 0.0;
+    let mut timings = Vec::new();
 
-    for kind in schedulers {
-        let s = paper_sim_scenario(num_jobs, seed, ArrivalPattern::Static);
-        let out = run_scenario(s.cluster, s.jobs, s.config, kind);
+    // Hadar (makespan) is always the first cell, so the "(x Hadar)" ratios
+    // match a serial run exactly.
+    for (kind, cell) in schedulers.into_iter().zip(results) {
+        let out = cell.outcome;
+        timings.push((out.scheduler.clone(), cell.wall_seconds));
         let makespan = out.makespan();
         if kind == SchedulerKind::HadarMakespan {
             hadar_makespan = makespan;
         }
-        csv.row(vec![out.scheduler.clone(), format!("{:.3}", makespan / 3600.0)]);
+        csv.row(vec![
+            out.scheduler.clone(),
+            format!("{:.3}", makespan / 3600.0),
+        ]);
         let vs = if hadar_makespan > 0.0 && kind != SchedulerKind::HadarMakespan {
             format!(" ({:.2}x Hadar)", makespan / hadar_makespan)
         } else {
@@ -64,7 +82,7 @@ pub fn run(quick: bool) -> FigureResult {
 
     let path = results_dir().join("fig6_makespan.csv");
     csv.write_to(&path).expect("write fig6 csv");
-    FigureResult::new("fig6", summary, vec![path])
+    FigureResult::new("fig6", summary, vec![path]).with_timings(timings)
 }
 
 #[cfg(test)]
@@ -73,7 +91,7 @@ mod tests {
 
     #[test]
     fn quick_run_uses_makespan_objective() {
-        let r = run(true);
+        let r = run(true, &SweepRunner::serial());
         assert!(r.summary.contains("Hadar (makespan)"));
         let csv = std::fs::read_to_string(&r.csv_paths[0]).unwrap();
         assert_eq!(csv.lines().count(), 4);

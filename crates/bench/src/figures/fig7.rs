@@ -5,6 +5,12 @@
 //! Each point measures the wall-clock time of a single scheduling round
 //! over a fully queued cluster — for Hadar, the dual subroutine; for Gavel,
 //! the exact policy LP plus the round-based priority mechanism.
+//!
+//! This is the one simulation experiment that does *not* go through the
+//! [`hadar_sim::SweepRunner`]: its CSV values *are* wall-clock times, and
+//! concurrent cells contending for cores would corrupt the measurement, so
+//! the cells always run serially. Its CSV is correspondingly excluded from
+//! the serial-vs-parallel byte-equality guarantee.
 
 use hadar_baselines::{GavelConfig, GavelScheduler};
 use hadar_cluster::Cluster;

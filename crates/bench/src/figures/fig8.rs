@@ -3,11 +3,11 @@
 //! variability under load.
 
 use hadar_metrics::CsvWriter;
-use hadar_sim::run_parallel;
+use hadar_sim::SweepRunner;
 use hadar_workload::ArrivalPattern;
 
 use crate::experiments::{run_scenario, SchedulerKind};
-use crate::figures::{results_dir, sweep_threads, FigureResult};
+use crate::figures::{results_dir, FigureResult};
 use crate::scenarios::paper_sim_scenario;
 
 /// The schedulers of Fig. 8.
@@ -17,8 +17,9 @@ const SCHEDULERS: [SchedulerKind; 3] = [
     SchedulerKind::Tiresias,
 ];
 
-/// Regenerate Fig. 8.
-pub fn run(quick: bool) -> FigureResult {
+/// Regenerate Fig. 8, fanning the (scheduler × rate × seed) cells out over
+/// `runner`.
+pub fn run(quick: bool, runner: &SweepRunner) -> FigureResult {
     let (num_jobs, rates, seeds): (usize, &[f64], &[u64]) = if quick {
         (30, &[60.0], &[1])
     } else {
@@ -27,6 +28,7 @@ pub fn run(quick: bool) -> FigureResult {
 
     let mut tasks: Vec<Box<dyn FnOnce() -> hadar_sim::SimOutcome + Send>> = Vec::new();
     let mut index: Vec<(SchedulerKind, f64)> = Vec::new();
+    let mut labels: Vec<String> = Vec::new();
     for kind in SCHEDULERS {
         for &rate in rates {
             for &seed in seeds {
@@ -34,6 +36,7 @@ pub fn run(quick: bool) -> FigureResult {
                     jobs_per_hour: rate,
                 };
                 index.push((kind, rate));
+                labels.push(format!("{} λ={rate}/h seed {seed}", kind.name()));
                 tasks.push(Box::new(move || {
                     let s = paper_sim_scenario(num_jobs, seed, pattern);
                     run_scenario(s.cluster, s.jobs, s.config, kind)
@@ -41,7 +44,13 @@ pub fn run(quick: bool) -> FigureResult {
             }
         }
     }
-    let outcomes = run_parallel(tasks, sweep_threads());
+    let results = runner.run(tasks);
+    let timings: Vec<(String, f64)> = labels
+        .into_iter()
+        .zip(&results)
+        .map(|(l, c)| (l, c.wall_seconds))
+        .collect();
+    let outcomes: Vec<hadar_sim::SimOutcome> = results.into_iter().map(|c| c.outcome).collect();
 
     let mut csv = CsvWriter::new(&[
         "scheduler",
@@ -80,7 +89,7 @@ pub fn run(quick: bool) -> FigureResult {
 
     let path = results_dir().join("fig8_jct_vs_rate.csv");
     csv.write_to(&path).expect("write fig8 csv");
-    FigureResult::new("fig8", summary, vec![path])
+    FigureResult::new("fig8", summary, vec![path]).with_timings(timings)
 }
 
 #[cfg(test)]
@@ -89,7 +98,7 @@ mod tests {
 
     #[test]
     fn quick_run_covers_three_schedulers() {
-        let r = run(true);
+        let r = run(true, &SweepRunner::serial());
         let csv = std::fs::read_to_string(&r.csv_paths[0]).unwrap();
         assert_eq!(csv.lines().count(), 4); // header + 3 schedulers × 1 rate
     }

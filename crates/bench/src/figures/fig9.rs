@@ -4,19 +4,24 @@
 //! queuing delay and allocation drift.
 
 use hadar_metrics::CsvWriter;
-use hadar_sim::run_parallel;
+use hadar_sim::SweepRunner;
 use hadar_workload::ArrivalPattern;
 
 use crate::experiments::{run_scenario, SchedulerKind};
-use crate::figures::{results_dir, sweep_threads, FigureResult};
+use crate::figures::{results_dir, FigureResult};
 use crate::scenarios::paper_sim_scenario;
 
-/// Regenerate Fig. 9.
-pub fn run(quick: bool) -> FigureResult {
+/// Regenerate Fig. 9, fanning the (round length × rate) cells out over
+/// `runner`.
+pub fn run(quick: bool, runner: &SweepRunner) -> FigureResult {
     let (num_jobs, round_minutes, rates): (usize, &[f64], &[f64]) = if quick {
         (30, &[6.0, 48.0], &[60.0])
     } else {
-        (240, &[6.0, 12.0, 24.0, 48.0], &[30.0, 45.0, 60.0, 75.0, 90.0])
+        (
+            240,
+            &[6.0, 12.0, 24.0, 48.0],
+            &[30.0, 45.0, 60.0, 75.0, 90.0],
+        )
     };
     let seed = 11;
 
@@ -38,7 +43,13 @@ pub fn run(quick: bool) -> FigureResult {
             }));
         }
     }
-    let outcomes = run_parallel(tasks, sweep_threads());
+    let results = runner.run(tasks);
+    let timings: Vec<(String, f64)> = index
+        .iter()
+        .zip(&results)
+        .map(|(&(rm, rate), c)| (format!("round {rm} min λ={rate}/h"), c.wall_seconds))
+        .collect();
+    let outcomes: Vec<hadar_sim::SimOutcome> = results.into_iter().map(|c| c.outcome).collect();
 
     let mut csv = CsvWriter::new(&["round_minutes", "jobs_per_hour", "mean_jct_hours"]);
     let mut summary = format!("Fig. 9: Hadar avg JCT vs round length ({num_jobs} jobs/run)\n");
@@ -57,7 +68,7 @@ pub fn run(quick: bool) -> FigureResult {
 
     let path = results_dir().join("fig9_round_length.csv");
     csv.write_to(&path).expect("write fig9 csv");
-    FigureResult::new("fig9", summary, vec![path])
+    FigureResult::new("fig9", summary, vec![path]).with_timings(timings)
 }
 
 #[cfg(test)]
@@ -66,7 +77,7 @@ mod tests {
 
     #[test]
     fn quick_run_sweeps_round_lengths() {
-        let r = run(true);
+        let r = run(true, &SweepRunner::serial());
         let csv = std::fs::read_to_string(&r.csv_paths[0]).unwrap();
         assert_eq!(csv.lines().count(), 3); // header + 2 rounds × 1 rate
         assert!(r.summary.contains("round"));

@@ -5,6 +5,15 @@
 //! recorded in EXPERIMENTS.md). Experiments accept a `quick` flag used by
 //! integration tests: it shrinks job counts and seed counts but exercises
 //! identical code paths.
+//!
+//! Experiments that run simulations take a [`hadar_sim::SweepRunner`] and
+//! submit every independent simulation *cell* (scheduler × seed × pattern ×
+//! config) through it. Results are always consumed in original cell order,
+//! so the CSVs and summaries are byte-identical whatever the thread count;
+//! per-cell wall-clock times land in [`FigureResult::timings`]. Two modules
+//! deliberately bypass the runner: [`table2`] runs no simulations, and
+//! [`fig7`] measures scheduler decision *wall time*, which concurrent cells
+//! would corrupt.
 
 pub mod ablation;
 pub mod extensions;
@@ -33,6 +42,9 @@ pub struct FigureResult {
     pub summary: String,
     /// CSV files written.
     pub csv_paths: Vec<PathBuf>,
+    /// Per-cell wall-clock times `(cell label, seconds)` as reported by the
+    /// sweep runner. Empty for experiments without simulation cells.
+    pub timings: Vec<(String, f64)>,
 }
 
 impl FigureResult {
@@ -41,16 +53,41 @@ impl FigureResult {
             name: name.to_owned(),
             summary,
             csv_paths,
+            timings: Vec::new(),
         }
+    }
+
+    /// Attach per-cell wall-clock timings from a sweep.
+    pub(crate) fn with_timings(mut self, timings: Vec<(String, f64)>) -> Self {
+        self.timings = timings;
+        self
+    }
+
+    /// Render the per-cell wall-clock report (empty when no cells ran).
+    pub fn render_timings(&self) -> String {
+        if self.timings.is_empty() {
+            return String::new();
+        }
+        let total: f64 = self.timings.iter().map(|(_, s)| s).sum();
+        let mut out = format!(
+            "  cell wall-clock ({} cells, {total:.2}s of simulation):\n",
+            self.timings.len()
+        );
+        for (label, secs) in &self.timings {
+            out.push_str(&format!("    {label:<42} {secs:>8.2}s\n"));
+        }
+        out
     }
 }
 
-/// Number of worker threads for simulation sweeps.
-pub(crate) fn sweep_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4)
-        .min(16)
+/// Print one figure's summary, per-cell wall-clock report, and CSV paths —
+/// the shared tail of every experiment binary.
+pub fn print_report(r: &FigureResult) {
+    println!("{}", r.summary);
+    print!("{}", r.render_timings());
+    for path in &r.csv_paths {
+        println!("  wrote {}", path.display());
+    }
 }
 
 /// Format a ratio against Hadar ("2.41x").

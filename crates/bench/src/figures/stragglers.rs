@@ -9,15 +9,16 @@
 //! long as a slowdown lasts.
 
 use hadar_metrics::CsvWriter;
-use hadar_sim::StragglerModel;
+use hadar_sim::{SimOutcome, StragglerModel, SweepRunner};
 use hadar_workload::ArrivalPattern;
 
 use crate::experiments::{run_scenario, SchedulerKind};
 use crate::figures::{results_dir, FigureResult};
 use crate::scenarios::paper_sim_scenario;
 
-/// Run the straggler resilience comparison.
-pub fn run(quick: bool) -> FigureResult {
+/// Run the straggler resilience comparison, fanning the
+/// (scheduler × {healthy, straggling}) cells out over `runner`.
+pub fn run(quick: bool, runner: &SweepRunner) -> FigureResult {
     let num_jobs = if quick { 24 } else { 160 };
     let seed = 42;
     let model = StragglerModel {
@@ -26,6 +27,32 @@ pub fn run(quick: bool) -> FigureResult {
         mean_duration_rounds: 5.0,
         seed: 17,
     };
+
+    let mut cells: Vec<Box<dyn FnOnce() -> SimOutcome + Send>> = Vec::new();
+    let mut labels: Vec<String> = Vec::new();
+    for kind in SchedulerKind::HEADLINE {
+        for straggling in [false, true] {
+            labels.push(format!(
+                "{} {}",
+                kind.name(),
+                if straggling { "straggling" } else { "healthy" }
+            ));
+            cells.push(Box::new(move || {
+                let mut s = paper_sim_scenario(num_jobs, seed, ArrivalPattern::Static);
+                if straggling {
+                    s.config.straggler = Some(model);
+                }
+                run_scenario(s.cluster, s.jobs, s.config, kind)
+            }));
+        }
+    }
+    let results = runner.run(cells);
+    let timings: Vec<(String, f64)> = labels
+        .into_iter()
+        .zip(&results)
+        .map(|(l, c)| (l, c.wall_seconds))
+        .collect();
+    let mut outcomes = results.into_iter().map(|c| c.outcome);
 
     let mut csv = CsvWriter::new(&[
         "scheduler",
@@ -38,15 +65,8 @@ pub fn run(quick: bool) -> FigureResult {
     );
 
     for kind in SchedulerKind::HEADLINE {
-        let healthy = {
-            let s = paper_sim_scenario(num_jobs, seed, ArrivalPattern::Static);
-            run_scenario(s.cluster, s.jobs, s.config, kind)
-        };
-        let straggling = {
-            let mut s = paper_sim_scenario(num_jobs, seed, ArrivalPattern::Static);
-            s.config.straggler = Some(model);
-            run_scenario(s.cluster, s.jobs, s.config, kind)
-        };
+        let healthy = outcomes.next().expect("healthy cell");
+        let straggling = outcomes.next().expect("straggling cell");
         assert_eq!(straggling.completed_jobs(), num_jobs, "{}", kind.name());
         let (h, g) = (healthy.mean_jct(), straggling.mean_jct());
         let degradation = (g - h) / h * 100.0;
@@ -67,7 +87,7 @@ pub fn run(quick: bool) -> FigureResult {
 
     let path = results_dir().join("stragglers.csv");
     csv.write_to(&path).expect("write stragglers csv");
-    FigureResult::new("stragglers", summary, vec![path])
+    FigureResult::new("stragglers", summary, vec![path]).with_timings(timings)
 }
 
 #[cfg(test)]
@@ -76,7 +96,8 @@ mod tests {
 
     #[test]
     fn quick_run_reports_all_schedulers() {
-        let r = run(true);
+        let r = run(true, &SweepRunner::serial());
+        assert_eq!(r.timings.len(), 8);
         let csv = std::fs::read_to_string(&r.csv_paths[0]).unwrap();
         assert_eq!(csv.lines().count(), 5);
         assert!(r.summary.contains("straggling"));

@@ -10,7 +10,7 @@
 //! 10 %; we reproduce that claim as the gap between these two rows.
 
 use hadar_metrics::{CsvWriter, Table};
-use hadar_sim::{CheckpointModel, PreemptionPenalty};
+use hadar_sim::{CheckpointModel, PreemptionPenalty, SimOutcome, SweepRunner};
 
 use crate::experiments::{run_scenario, SchedulerKind};
 use crate::figures::{results_dir, FigureResult};
@@ -22,17 +22,35 @@ const SCHEDULERS: [SchedulerKind; 3] = [
     SchedulerKind::Tiresias,
 ];
 
-/// Regenerate Table III.
-pub fn run(_quick: bool) -> FigureResult {
-    let mut table = Table::new(vec!["Cluster", "Metric", "Hadar", "Gavel", "Tiresias"]);
-    let mut csv = CsvWriter::new(&[
-        "cluster",
-        "scheduler",
-        "mean_jct_hours",
-        "makespan_hours",
-    ]);
+/// Regenerate Table III, fanning the (cluster mode × scheduler) cells out
+/// over `runner`.
+pub fn run(_quick: bool, runner: &SweepRunner) -> FigureResult {
+    let grid: Vec<(bool, SchedulerKind)> = [true, false]
+        .into_iter()
+        .flat_map(|physical| SCHEDULERS.into_iter().map(move |kind| (physical, kind)))
+        .collect();
+    let sim_cells: Vec<Box<dyn FnOnce() -> SimOutcome + Send>> = grid
+        .iter()
+        .map(|&(physical, kind)| {
+            Box::new(move || {
+                let mut s = aws_prototype_scenario(0);
+                if physical {
+                    s.config.penalty = PreemptionPenalty::Modeled(CheckpointModel::default());
+                }
+                run_scenario(s.cluster, s.jobs, s.config, kind)
+            }) as Box<dyn FnOnce() -> SimOutcome + Send>
+        })
+        .collect();
+    let results = runner.run(sim_cells);
 
-    let mut rows: Vec<(String, Vec<(String, f64, f64)>)> = Vec::new();
+    let mut table = Table::new(vec!["Cluster", "Metric", "Hadar", "Gavel", "Tiresias"]);
+    let mut csv = CsvWriter::new(&["cluster", "scheduler", "mean_jct_hours", "makespan_hours"]);
+    let mut timings = Vec::new();
+
+    // One row group per cluster mode: (label, per-scheduler (name, jct, makespan)).
+    type ClusterRow = (String, Vec<(String, f64, f64)>);
+    let mut rows: Vec<ClusterRow> = Vec::new();
+    let mut outcomes = grid.iter().zip(results);
     for physical in [true, false] {
         let label = if physical {
             "Physical (modeled)"
@@ -40,12 +58,10 @@ pub fn run(_quick: bool) -> FigureResult {
             "Simulated"
         };
         let mut cells = Vec::new();
-        for kind in SCHEDULERS {
-            let mut s = aws_prototype_scenario(0);
-            if physical {
-                s.config.penalty = PreemptionPenalty::Modeled(CheckpointModel::default());
-            }
-            let out = run_scenario(s.cluster, s.jobs, s.config, kind);
+        for _ in SCHEDULERS {
+            let (_, cell) = outcomes.next().expect("one outcome per grid cell");
+            let out = cell.outcome;
+            timings.push((format!("{label} / {}", out.scheduler), cell.wall_seconds));
             assert_eq!(out.completed_jobs(), 10, "{}", out.scheduler);
             let jct = out.mean_jct() / 3600.0;
             let makespan = out.makespan() / 3600.0;
@@ -85,7 +101,7 @@ pub fn run(_quick: bool) -> FigureResult {
 
     let path = results_dir().join("table3_prototype.csv");
     csv.write_to(&path).expect("write table3 csv");
-    FigureResult::new("table3", summary, vec![path])
+    FigureResult::new("table3", summary, vec![path]).with_timings(timings)
 }
 
 #[cfg(test)]
@@ -94,7 +110,7 @@ mod tests {
 
     #[test]
     fn produces_both_cluster_rows() {
-        let r = run(true);
+        let r = run(true, &SweepRunner::serial());
         assert!(r.summary.contains("Physical (modeled)"));
         assert!(r.summary.contains("Simulated"));
         let csv = std::fs::read_to_string(&r.csv_paths[0]).unwrap();

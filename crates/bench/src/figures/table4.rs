@@ -4,23 +4,20 @@
 //! with the modeled checkpoint costs.
 
 use hadar_metrics::{CsvWriter, Table};
-use hadar_sim::{CheckpointModel, PreemptionPenalty};
+use hadar_sim::{CheckpointModel, PreemptionPenalty, SimOutcome, SweepRunner};
 use hadar_workload::{ArrivalPattern, DlTask};
 
 use crate::experiments::{run_scenario, SchedulerKind};
 use crate::figures::{results_dir, FigureResult};
 use crate::scenarios::paper_sim_scenario;
 
-/// Regenerate Table IV.
-pub fn run(quick: bool) -> FigureResult {
+/// Regenerate Table IV. The live cross-check run is submitted through
+/// `runner` as a single cell.
+pub fn run(quick: bool, runner: &SweepRunner) -> FigureResult {
     let model = CheckpointModel::default();
     let round = 360.0;
 
-    let mut table = Table::new(vec![
-        "Model",
-        "Overhead w/ realloc",
-        "Overhead w/o realloc",
-    ]);
+    let mut table = Table::new(vec!["Model", "Overhead w/ realloc", "Overhead w/o realloc"]);
     let mut csv = CsvWriter::new(&[
         "model",
         "checkpoint_mib",
@@ -46,10 +43,15 @@ pub fn run(quick: bool) -> FigureResult {
     // Cross-check with a live run: total stall time / total held time under
     // the modeled penalty.
     let num_jobs = if quick { 20 } else { 120 };
-    let mut s = paper_sim_scenario(num_jobs, 5, ArrivalPattern::Static);
-    s.config.penalty = PreemptionPenalty::Modeled(model);
-    let out = run_scenario(s.cluster, s.jobs, s.config, SchedulerKind::Hadar);
-    let realloc_rate = out.reallocation_rate();
+    let cell: Vec<Box<dyn FnOnce() -> SimOutcome + Send>> = vec![Box::new(move || {
+        let mut s = paper_sim_scenario(num_jobs, 5, ArrivalPattern::Static);
+        s.config.penalty = PreemptionPenalty::Modeled(model);
+        run_scenario(s.cluster, s.jobs, s.config, SchedulerKind::Hadar)
+    })];
+    let mut results = runner.run(cell);
+    let live = results.pop().expect("live cross-check cell");
+    let timings = vec![("Hadar live cross-check".to_owned(), live.wall_seconds)];
+    let realloc_rate = live.outcome.reallocation_rate();
 
     let summary = format!(
         "Table IV: preemption overhead per model (6-minute rounds, {} MiB/s effective SSD)\n{}\nLive run: {:.1}% of job-rounds required reallocation (paper §IV-A-5 reports ~30%)\n",
@@ -59,7 +61,7 @@ pub fn run(quick: bool) -> FigureResult {
     );
     let path = results_dir().join("table4_overhead.csv");
     csv.write_to(&path).expect("write table4 csv");
-    FigureResult::new("table4", summary, vec![path])
+    FigureResult::new("table4", summary, vec![path]).with_timings(timings)
 }
 
 #[cfg(test)]
@@ -68,7 +70,7 @@ mod tests {
 
     #[test]
     fn overheads_match_paper_within_tolerance() {
-        let r = run(true);
+        let r = run(true, &SweepRunner::serial());
         // Spot-check the headline entries of Table IV.
         let csv = std::fs::read_to_string(&r.csv_paths[0]).unwrap();
         let rn50 = csv

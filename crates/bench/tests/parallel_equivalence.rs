@@ -1,0 +1,70 @@
+//! The core guarantee of the parallel sweep runner: fanning figure cells
+//! over a thread pool produces byte-identical CSVs and identical summaries
+//! to the strict serial reference, and parallel runs are deterministic.
+//!
+//! One test function on purpose: the experiments locate their output via
+//! the process-wide `HADAR_RESULTS_DIR` variable, so the serial and
+//! parallel runs must happen sequentially in a single test.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+use hadar_sim::SweepRunner;
+
+/// Run a representative slice of the figure suite into `dir` and return
+/// `(csv name -> bytes, figure name -> summary)`.
+///
+/// The slice covers the three sweep shapes: order-dependent "(x Hadar)"
+/// ratios (fig5), a parameter-grid sweep (fig9), and a multi-cluster
+/// comparison (extensions).
+fn run_figures_into(
+    dir: &Path,
+    runner: &SweepRunner,
+) -> (BTreeMap<String, Vec<u8>>, BTreeMap<String, String>) {
+    std::fs::create_dir_all(dir).unwrap();
+    std::env::set_var("HADAR_RESULTS_DIR", dir);
+    let results = vec![
+        hadar_bench::figures::fig5::run(true, runner),
+        hadar_bench::figures::fig9::run(true, runner),
+        hadar_bench::figures::extensions::run(true, runner),
+    ];
+    let mut csvs = BTreeMap::new();
+    let mut summaries = BTreeMap::new();
+    for r in results {
+        summaries.insert(r.name.clone(), r.summary.clone());
+        for p in &r.csv_paths {
+            let name = p.file_name().unwrap().to_string_lossy().into_owned();
+            csvs.insert(name, std::fs::read(p).unwrap());
+        }
+    }
+    (csvs, summaries)
+}
+
+#[test]
+fn parallel_figures_are_byte_identical_and_deterministic() {
+    let base = std::env::temp_dir().join(format!("hadar-par-eq-{}", std::process::id()));
+    let (serial_csvs, serial_summaries) =
+        run_figures_into(&base.join("serial"), &SweepRunner::serial());
+    let (par_csvs, par_summaries) = run_figures_into(&base.join("par-a"), &SweepRunner::new(4));
+    let (rerun_csvs, _) = run_figures_into(&base.join("par-b"), &SweepRunner::new(4));
+
+    assert_eq!(
+        serial_csvs.keys().collect::<Vec<_>>(),
+        par_csvs.keys().collect::<Vec<_>>()
+    );
+    for (name, bytes) in &serial_csvs {
+        assert_eq!(
+            Some(bytes),
+            par_csvs.get(name),
+            "{name}: parallel CSV differs from serial reference"
+        );
+        assert_eq!(
+            par_csvs.get(name),
+            rerun_csvs.get(name),
+            "{name}: two parallel runs disagree"
+        );
+    }
+    assert_eq!(serial_summaries, par_summaries, "summaries diverged");
+
+    let _ = std::fs::remove_dir_all(&base);
+}

@@ -2,7 +2,7 @@
 //! offline list — no clap).
 
 use hadar_cluster::Cluster;
-use hadar_sim::{CheckpointModel, PreemptionPenalty, StragglerModel};
+use hadar_sim::{CheckpointModel, PreemptionPenalty, StragglerModel, SweepRunner};
 use hadar_workload::ArrivalPattern;
 
 /// Parsed `--key value` options plus positional arguments.
@@ -119,6 +119,19 @@ pub fn parse_penalty(spec: &str) -> Result<PreemptionPenalty, String> {
     }
 }
 
+/// Build the sweep runner from `--threads N` (N ≥ 1; 1 = strict serial).
+/// Without the flag, `HADAR_THREADS` or the machine's available
+/// parallelism (capped at 16) decides.
+pub fn parse_runner(opts: &Options) -> Result<SweepRunner, String> {
+    match opts.get("threads") {
+        None => Ok(SweepRunner::from_env()),
+        Some(v) => match v.parse::<usize>() {
+            Ok(n) if n >= 1 => Ok(SweepRunner::new(n)),
+            _ => Err(format!("--threads expects a positive integer, got {v:?}")),
+        },
+    }
+}
+
 /// Parse `--straggler INCIDENCE,SLOWDOWN,MEAN_ROUNDS,SEED`.
 pub fn parse_straggler(spec: &str) -> Result<StragglerModel, String> {
     let parts: Vec<&str> = spec.split(',').collect();
@@ -205,6 +218,17 @@ mod tests {
         ));
         assert!(parse_penalty("fixed:-1").is_err());
         assert!(parse_penalty("huge").is_err());
+    }
+
+    #[test]
+    fn threads() {
+        assert_eq!(parse_runner(&opts(&[])).unwrap(), SweepRunner::from_env());
+        assert_eq!(
+            parse_runner(&opts(&["--threads", "3"])).unwrap().threads(),
+            3
+        );
+        assert!(parse_runner(&opts(&["--threads", "0"])).is_err());
+        assert!(parse_runner(&opts(&["--threads", "many"])).is_err());
     }
 
     #[test]

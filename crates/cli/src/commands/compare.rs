@@ -1,11 +1,16 @@
-//! `hadar-cli compare`: all four schedulers on one workload.
+//! `hadar-cli compare`: all four schedulers on one workload. The four
+//! simulation cells are submitted through a `hadar_sim::SweepRunner`, so
+//! `--threads N` runs them concurrently (results are identical to a serial
+//! run; only wall-clock differs).
 
 use hadar_metrics::Table;
-use hadar_sim::{SimConfig, Simulation};
+use hadar_sim::{SimConfig, SimOutcome, Simulation};
 use hadar_workload::{generate_trace, ArrivalPattern, TraceConfig};
 
-use crate::args::{parse_cluster, parse_pattern, Options};
+use crate::args::{parse_cluster, parse_pattern, parse_runner, Options};
 use crate::commands::scheduler_by_name;
+
+const SCHEDULERS: [&str; 4] = ["hadar", "gavel", "tiresias", "yarn"];
 
 /// Run the comparison; returns the rendered table.
 pub fn run(opts: &Options) -> Result<String, String> {
@@ -19,6 +24,7 @@ pub fn run(opts: &Options) -> Result<String, String> {
         None => ArrivalPattern::Static,
     };
     let cluster = parse_cluster(opts.get("cluster").unwrap_or("paper"))?;
+    let runner = parse_runner(opts)?;
     let jobs = generate_trace(
         &TraceConfig {
             num_jobs,
@@ -27,6 +33,18 @@ pub fn run(opts: &Options) -> Result<String, String> {
         },
         cluster.catalog(),
     );
+
+    let cells: Vec<Box<dyn FnOnce() -> SimOutcome + Send>> = SCHEDULERS
+        .into_iter()
+        .map(|name| {
+            let (cluster, jobs) = (cluster.clone(), jobs.clone());
+            Box::new(move || {
+                let scheduler = scheduler_by_name(name).expect("known scheduler name");
+                Simulation::new(cluster, jobs, SimConfig::default()).run(scheduler)
+            }) as Box<dyn FnOnce() -> SimOutcome + Send>
+        })
+        .collect();
+    let results = runner.run(cells);
 
     let mut table = Table::new(vec![
         "Scheduler",
@@ -37,11 +55,14 @@ pub fn run(opts: &Options) -> Result<String, String> {
         "Mean FTF",
         "Queue (h)",
     ]);
-    for name in ["hadar", "gavel", "tiresias", "yarn"] {
-        let scheduler = scheduler_by_name(name)?;
-        let out = Simulation::new(cluster.clone(), jobs.clone(), SimConfig::default())
-            .run(scheduler);
+    let mut timings = String::new();
+    for cell in results {
+        let out = cell.outcome;
         let m = out.metrics();
+        timings.push_str(&format!(
+            "  {:<9} cell wall-clock {:.2}s\n",
+            out.scheduler, cell.wall_seconds
+        ));
         table.row(vec![
             out.scheduler.clone(),
             format!("{:.2}", m.mean / 3600.0),
@@ -53,8 +74,9 @@ pub fn run(opts: &Options) -> Result<String, String> {
         ]);
     }
     Ok(format!(
-        "{num_jobs} jobs, seed {seed}, {pattern:?}, {} GPUs\n\n{}",
+        "{num_jobs} jobs, seed {seed}, {pattern:?}, {} GPUs, {} worker threads\n\n{}\n{timings}",
         cluster.total_gpus(),
+        runner.threads(),
         table.render()
     ))
 }
@@ -65,13 +87,31 @@ mod tests {
 
     #[test]
     fn compares_all_four() {
-        let opts = Options::parse(
-            ["--jobs", "6", "--seed", "4"].iter().map(|s| s.to_string()),
-        )
-        .unwrap();
+        let opts =
+            Options::parse(["--jobs", "6", "--seed", "4"].iter().map(|s| s.to_string())).unwrap();
         let out = run(&opts).unwrap();
         for name in ["Hadar", "Gavel", "Tiresias", "YARN-CS"] {
             assert!(out.contains(name), "{name} missing:\n{out}");
         }
+    }
+
+    #[test]
+    fn threaded_run_matches_serial_table() {
+        let base = ["--jobs", "6", "--seed", "4", "--threads"];
+        let table = |threads: &str| {
+            let args: Vec<String> = base
+                .iter()
+                .map(|s| s.to_string())
+                .chain([threads.to_string()])
+                .collect();
+            let out = run(&Options::parse(args).unwrap()).unwrap();
+            // Strip the header line (thread count) and cell wall-clock
+            // lines; the metric table itself must be identical.
+            out.lines()
+                .filter(|l| !l.contains("worker threads") && !l.contains("cell wall-clock"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(table("1"), table("4"));
     }
 }

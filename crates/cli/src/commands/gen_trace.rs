@@ -54,7 +54,12 @@ mod tests {
     #[test]
     fn poisson_pattern_accepted() {
         let (_, csv) = run(&opts(&[
-            "--jobs", "5", "--pattern", "poisson:30", "--seed", "1",
+            "--jobs",
+            "5",
+            "--pattern",
+            "poisson:30",
+            "--seed",
+            "1",
         ]))
         .unwrap();
         assert_eq!(csv.lines().count(), 6);

@@ -41,10 +41,15 @@ USAGE:
                      [--cluster paper|aws|toy|scaled:N] [--round-min M]
                      [--penalty none|fixed:SECS|modeled]
                      [--straggler INC,SLOW,ROUNDS,SEED] [--csv FILE]
+                     [--threads N]
       Run one simulation and print the metric report.
 
   hadar-cli compare [--jobs N] [--seed S] [--pattern P] [--cluster C]
+                    [--threads N]
       Run all four schedulers on the same workload and print a table.
+      --threads N fans the four runs over N worker threads (default:
+      HADAR_THREADS or the machine parallelism; results are identical to
+      --threads 1, only wall-clock differs).
 ";
 
 #[cfg(test)]

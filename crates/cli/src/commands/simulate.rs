@@ -1,17 +1,26 @@
 //! `hadar-cli simulate`.
+//!
+//! The (single) simulation cell is submitted through the shared
+//! `hadar_sim::SweepRunner` like every sweep cell in the workspace, so the
+//! report includes the cell's wall-clock time and `--threads` is accepted
+//! for symmetry with `compare` (it cannot change a one-cell run).
 
 use hadar_sim::{SimConfig, SimOutcome, Simulation};
 use hadar_workload::{generate_trace, load_trace_csv, ArrivalPattern, TraceConfig};
 
-use crate::args::{parse_cluster, parse_pattern, parse_penalty, parse_straggler, Options};
+use crate::args::{
+    parse_cluster, parse_pattern, parse_penalty, parse_runner, parse_straggler, Options,
+};
 use crate::commands::scheduler_by_name;
 
 /// Run one simulation. Returns `(report, per_job_csv)`.
 pub fn run(opts: &Options) -> Result<(String, String), String> {
     let scheduler_name = opts
         .get("scheduler")
-        .ok_or("--scheduler is required (hadar|gavel|tiresias|yarn)")?;
-    let scheduler = scheduler_by_name(scheduler_name)?;
+        .ok_or("--scheduler is required (hadar|gavel|tiresias|yarn)")?
+        .to_owned();
+    scheduler_by_name(&scheduler_name)?; // validate the name up front
+    let runner = parse_runner(opts)?;
     let cluster = parse_cluster(opts.get("cluster").unwrap_or("paper"))?;
 
     // Workload: either a trace file or generated on the fly.
@@ -55,11 +64,21 @@ pub fn run(opts: &Options) -> Result<(String, String), String> {
     }
 
     let n = jobs.len();
-    let outcome = Simulation::new(cluster, jobs, config).run(scheduler);
-    Ok((render_report(&outcome, n), per_job_csv(&outcome)))
+    let cell: Vec<Box<dyn FnOnce() -> SimOutcome + Send>> = vec![Box::new(move || {
+        let scheduler = scheduler_by_name(&scheduler_name).expect("validated scheduler name");
+        Simulation::new(cluster, jobs, config).run(scheduler)
+    })];
+    let result = runner
+        .run(cell)
+        .pop()
+        .expect("one result for one simulation cell");
+    Ok((
+        render_report(&result.outcome, n, result.wall_seconds),
+        per_job_csv(&result.outcome),
+    ))
 }
 
-fn render_report(out: &SimOutcome, submitted: usize) -> String {
+fn render_report(out: &SimOutcome, submitted: usize, wall_seconds: f64) -> String {
     let m = out.metrics();
     let q = out.queuing_delays();
     format!(
@@ -73,7 +92,8 @@ fn render_report(out: &SimOutcome, submitted: usize) -> String {
          finish-time fairness : {:.3} (mean rho)\n\
          queuing delay        : {:.2} h mean, {:.2} h max\n\
          reallocation rate    : {:.1} % of job-rounds\n\
-         scheduler decisions  : {:.3} ms mean wall time",
+         scheduler decisions  : {:.3} ms mean wall time\n\
+         simulation wall time : {wall_seconds:.2} s",
         out.scheduler,
         out.completed_jobs(),
         if out.timed_out { " (TIMED OUT)" } else { "" },
@@ -135,7 +155,12 @@ mod tests {
     #[test]
     fn simulate_small_run() {
         let (report, csv) = run(&opts(&[
-            "--scheduler", "hadar", "--jobs", "6", "--seed", "2",
+            "--scheduler",
+            "hadar",
+            "--jobs",
+            "6",
+            "--seed",
+            "2",
         ]))
         .unwrap();
         assert!(report.contains("jobs completed       : 6/6"));
@@ -173,8 +198,8 @@ mod tests {
         let dir = std::env::temp_dir().join("hadar-cli-test");
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("trace.csv");
-        let (_, csv) = crate::commands::gen_trace::run(&opts(&["--jobs", "5", "--seed", "9"]))
-            .unwrap();
+        let (_, csv) =
+            crate::commands::gen_trace::run(&opts(&["--jobs", "5", "--seed", "9"])).unwrap();
         std::fs::write(&path, csv).unwrap();
         let (report, _) = run(&opts(&[
             "--scheduler",

@@ -102,10 +102,10 @@ impl JobPlacement {
     /// touches. `rate_of` maps a type to the job's `X_j^r`.
     ///
     /// Returns `None` for an empty placement.
-    pub fn bottleneck_rate(&self, mut rate_of: impl FnMut(GpuTypeId) -> f64) -> Option<f64> {
+    pub fn bottleneck_rate(&self, rate_of: impl FnMut(GpuTypeId) -> f64) -> Option<f64> {
         self.gpu_types()
             .into_iter()
-            .map(|r| rate_of(r))
+            .map(rate_of)
             .min_by(|a, b| a.partial_cmp(b).expect("throughput must not be NaN"))
     }
 
@@ -266,7 +266,10 @@ impl std::fmt::Display for AllocationError {
                 "machine {machine} type {gpu}: {used} GPUs allocated but capacity is {capacity}"
             ),
             AllocationError::GangViolation { job, got, want } => {
-                write!(f, "job {job}: scheduled with {got} workers, gang size is {want}")
+                write!(
+                    f,
+                    "job {job}: scheduled with {got} workers, gang size is {want}"
+                )
             }
         }
     }
@@ -378,7 +381,14 @@ mod tests {
         let mut alloc = Allocation::empty();
         alloc.set(JobId(0), JobPlacement::single(MachineId(0), a, 3));
         let err = alloc.validate(&cl, |_| 3).unwrap_err();
-        assert!(matches!(err, AllocationError::OverCapacity { used: 3, capacity: 2, .. }));
+        assert!(matches!(
+            err,
+            AllocationError::OverCapacity {
+                used: 3,
+                capacity: 2,
+                ..
+            }
+        ));
     }
 
     #[test]

@@ -302,8 +302,7 @@ mod tests {
         let foreign = {
             let mut b2 = ClusterBuilder::new();
             b2.gpu_type("A");
-            let x = b2.gpu_type("B");
-            x
+            b2.gpu_type("B")
         };
         // `foreign` has index 1, which `other`'s catalog does not contain.
         other.machine(&[(foreign, 1)]);

@@ -72,11 +72,7 @@ impl CommCostModel {
 
     /// Throughput factor for a placement, charging the extra rack-tier
     /// penalty when a topology is present.
-    pub fn placement_factor_racked(
-        &self,
-        p: &JobPlacement,
-        racks: Option<&RackTopology>,
-    ) -> f64 {
+    pub fn placement_factor_racked(&self, p: &JobPlacement, racks: Option<&RackTopology>) -> f64 {
         let machine_factor = self.throughput_factor(p.num_machines());
         let rack_factor = match racks {
             Some(t) => {
@@ -152,12 +148,28 @@ mod tests {
         };
         let topo = RackTopology::uniform(4, 2); // machines {0,1} and {2,3}
         let same_rack = JobPlacement::from_slices([
-            PlacementSlice { machine: MachineId(0), gpu: GpuTypeId(0), count: 1 },
-            PlacementSlice { machine: MachineId(1), gpu: GpuTypeId(0), count: 1 },
+            PlacementSlice {
+                machine: MachineId(0),
+                gpu: GpuTypeId(0),
+                count: 1,
+            },
+            PlacementSlice {
+                machine: MachineId(1),
+                gpu: GpuTypeId(0),
+                count: 1,
+            },
         ]);
         let cross_rack = JobPlacement::from_slices([
-            PlacementSlice { machine: MachineId(0), gpu: GpuTypeId(0), count: 1 },
-            PlacementSlice { machine: MachineId(2), gpu: GpuTypeId(0), count: 1 },
+            PlacementSlice {
+                machine: MachineId(0),
+                gpu: GpuTypeId(0),
+                count: 1,
+            },
+            PlacementSlice {
+                machine: MachineId(2),
+                gpu: GpuTypeId(0),
+                count: 1,
+            },
         ]);
         // Same rack: only the machine hop (0.9).
         assert!((m.placement_factor_racked(&same_rack, Some(&topo)) - 0.9).abs() < 1e-12);

@@ -11,6 +11,22 @@ pub struct Usage {
     num_types: usize,
     /// Row-major `used[h * R + r]`.
     used: Vec<u32>,
+    /// Incrementally maintained position-weighted hash of `used` (see
+    /// [`Usage::fingerprint`]): `Σ_i weight(i)·used[i]` mod 2⁶⁴.
+    hash: u64,
+    /// Incrementally maintained `Σ used[i]`.
+    total: u32,
+}
+
+/// The per-index fingerprint weight: splitmix64 of the flat index. The
+/// output is a fixed pseudo-random 64-bit constant per position, so the
+/// weighted sum separates positions and counts without scanning the matrix.
+#[inline]
+fn weight(i: usize) -> u64 {
+    let mut z = (i as u64).wrapping_add(0x9e3779b97f4a7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
 }
 
 impl Usage {
@@ -19,6 +35,8 @@ impl Usage {
         Self {
             num_types: cluster.num_types(),
             used: vec![0; cluster.num_machines() * cluster.num_types()],
+            hash: 0,
+            total: 0,
         }
     }
 
@@ -38,6 +56,8 @@ impl Usage {
     pub fn add(&mut self, h: MachineId, r: GpuTypeId, count: u32) {
         let i = self.idx(h, r);
         self.used[i] += count;
+        self.hash = self.hash.wrapping_add(weight(i).wrapping_mul(count as u64));
+        self.total += count;
     }
 
     /// Release `count` occupied GPUs.
@@ -51,6 +71,8 @@ impl Usage {
         self.used[i] = self.used[i]
             .checked_sub(count)
             .expect("usage underflow: released more GPUs than held");
+        self.hash = self.hash.wrapping_sub(weight(i).wrapping_mul(count as u64));
+        self.total -= count;
     }
 
     /// Free GPUs of type `r` on machine `h`, `c_h^r − γ_h^r`
@@ -78,8 +100,9 @@ impl Usage {
     }
 
     /// Total occupied GPUs across the cluster.
+    #[inline]
     pub fn total_used(&self) -> u32 {
-        self.used.iter().sum()
+        self.total
     }
 
     /// Whether every GPU in the cluster is occupied.
@@ -89,15 +112,17 @@ impl Usage {
 
     /// A compact fingerprint of the usage state, used as a memoization key
     /// by the dynamic-programming dual subroutine (Algorithm 2).
+    ///
+    /// Maintained incrementally in [`Usage::add`]/[`Usage::sub`] as the
+    /// position-weighted sum `Σ_i weight(i)·used[i]` (mod 2⁶⁴) with fixed
+    /// splitmix64 per-index weights, so reading it is O(1) instead of a scan
+    /// over the whole `H × R` matrix — the DP subroutine fingerprints the
+    /// usage at every node it expands, which made the scan the hot path of
+    /// each scheduling round. Deterministic and stable across runs and
+    /// threads (unlike `DefaultHasher` with random keys).
+    #[inline]
     pub fn fingerprint(&self) -> u64 {
-        // FNV-1a over the raw counts: cheap, deterministic, and stable
-        // across runs (unlike `DefaultHasher` with random keys).
-        let mut h: u64 = 0xcbf29ce484222325;
-        for &v in &self.used {
-            h ^= v as u64;
-            h = h.wrapping_mul(0x100000001b3);
-        }
-        h
+        self.hash
     }
 
     /// Raw occupied counts, row-major `[h][r]`.
@@ -164,5 +189,45 @@ mod tests {
         let mut u2 = Usage::empty(&cl);
         u2.add(MachineId(0), a, 1);
         assert_eq!(u1.fingerprint(), u2.fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_is_path_independent() {
+        // The incremental hash must depend only on the final counts, not on
+        // the order or granularity of the add/sub calls that produced them.
+        let (cl, a, c) = cl();
+        let mut u1 = Usage::empty(&cl);
+        u1.add(MachineId(0), a, 3);
+        u1.add(MachineId(1), c, 2);
+        u1.sub(MachineId(0), a, 1);
+
+        let mut u2 = Usage::empty(&cl);
+        u2.add(MachineId(1), c, 1);
+        u2.add(MachineId(0), a, 1);
+        u2.add(MachineId(1), c, 1);
+        u2.add(MachineId(0), a, 1);
+
+        assert_eq!(u1, u2);
+        assert_eq!(u1.fingerprint(), u2.fingerprint());
+        assert_eq!(u1.total_used(), 4);
+
+        // Releasing everything returns to the empty fingerprint.
+        u1.sub(MachineId(0), a, 2);
+        u1.sub(MachineId(1), c, 2);
+        assert_eq!(u1.fingerprint(), Usage::empty(&cl).fingerprint());
+        assert_eq!(u1.total_used(), 0);
+    }
+
+    #[test]
+    fn fingerprint_separates_count_and_position() {
+        // Same total spread differently must fingerprint differently: a
+        // count-only (unweighted) sum would collide here.
+        let (cl, a, _) = cl();
+        let mut u1 = Usage::empty(&cl);
+        u1.add(MachineId(0), a, 2);
+        let mut u2 = Usage::empty(&cl);
+        u2.add(MachineId(0), a, 1);
+        u2.add(MachineId(1), a, 1);
+        assert_ne!(u1.fingerprint(), u2.fingerprint());
     }
 }

@@ -20,7 +20,7 @@ use std::collections::HashMap;
 use hadar_cluster::Usage;
 use hadar_sim::JobState;
 
-use crate::find_alloc::{find_alloc, find_candidates, AllocEnv, Candidate};
+use crate::find_alloc::{AllocEnv, Candidate, CandidateCache};
 
 /// The chosen schedule for one round: per selected job (by index into the
 /// queue order given to the algorithm), its placement candidate.
@@ -40,21 +40,30 @@ const DP_BRANCH_WIDTH: usize = 3;
 /// spaces on large clusters); the greedy result is the floor either way.
 const DP_NODE_BUDGET: usize = 20_000;
 
+/// Best payoff and the `(queue index, candidate)` picks achieving it, for a
+/// memoized `(queue index, usage fingerprint)` subproblem.
+type DpEntry = (f64, Vec<(usize, Candidate)>);
+
 /// Subset selection by memoized DP over (queue index, usage state),
 /// branching over each job's top placements — not only its single best —
 /// so the DP can trade a fast GPU away from a job that barely benefits.
 /// The greedy solution is always computed as a floor; the better of the two
 /// is returned, so `dp_allocation` never underperforms `greedy_allocation`.
 pub fn dp_allocation(queue: &[&JobState], env: &AllocEnv<'_>, usage: &Usage) -> Selection {
-    let mut memo: HashMap<(usize, u64), (f64, Vec<(usize, Candidate)>)> = HashMap::new();
+    // One candidate cache serves both the DP exploration and the greedy
+    // floor: the greedy admission path revisits usage states the DP already
+    // expanded, so its `find_alloc` queries are mostly cache hits.
+    let mut cache = CandidateCache::new();
+    let mut memo: HashMap<(usize, u64), DpEntry> = HashMap::new();
     let mut nodes = 0usize;
-    let (total_payoff, mut decisions) = dp_rec(0, queue, env, usage, &mut memo, &mut nodes);
+    let (total_payoff, mut decisions) =
+        dp_rec(0, queue, env, usage, &mut cache, &mut memo, &mut nodes);
     decisions.sort_by_key(|(i, _)| *i);
     let dp = Selection {
         decisions,
         total_payoff,
     };
-    let greedy = greedy_allocation(queue, env, usage);
+    let greedy = greedy_with_cache(queue, env, usage, &mut cache);
     if greedy.total_payoff > dp.total_payoff {
         greedy
     } else {
@@ -67,9 +76,10 @@ fn dp_rec(
     queue: &[&JobState],
     env: &AllocEnv<'_>,
     usage: &Usage,
-    memo: &mut HashMap<(usize, u64), (f64, Vec<(usize, Candidate)>)>,
+    cache: &mut CandidateCache,
+    memo: &mut HashMap<(usize, u64), DpEntry>,
     nodes: &mut usize,
-) -> (f64, Vec<(usize, Candidate)>) {
+) -> DpEntry {
     if idx >= queue.len() || usage.is_cluster_full(env.cluster) {
         return (0.0, Vec::new());
     }
@@ -83,18 +93,22 @@ fn dp_rec(
     }
 
     // Branch 1: skip this job.
-    let mut best = dp_rec(idx + 1, queue, env, usage, memo, nodes);
+    let mut best = dp_rec(idx + 1, queue, env, usage, cache, memo, nodes);
 
-    // Branches 2..: schedule it at one of its top placements.
-    for cand in find_candidates(queue[idx], env, usage)
-        .into_iter()
+    // Branches 2..: schedule it at one of its top placements. The clone is
+    // needed because the recursion below re-borrows the cache mutably.
+    let cands: Vec<Candidate> = cache
+        .candidates(queue[idx], env, usage)
+        .iter()
         .take(DP_BRANCH_WIDTH)
-    {
+        .cloned()
+        .collect();
+    for cand in cands {
         let mut taken = usage.clone();
         for s in cand.placement.slices() {
             taken.add(s.machine, s.gpu, s.count);
         }
-        let (sub_payoff, mut sub_dec) = dp_rec(idx + 1, queue, env, &taken, memo, nodes);
+        let (sub_payoff, mut sub_dec) = dp_rec(idx + 1, queue, env, &taken, cache, memo, nodes);
         let payoff = cand.payoff + sub_payoff;
         if payoff > best.0 {
             sub_dec.push((idx, cand));
@@ -115,6 +129,17 @@ fn dp_rec(
 /// time has already deflated their achievable utility. One `find_alloc` per
 /// job, prices updated after every admission.
 pub fn greedy_allocation(queue: &[&JobState], env: &AllocEnv<'_>, usage: &Usage) -> Selection {
+    greedy_with_cache(queue, env, usage, &mut CandidateCache::new())
+}
+
+/// [`greedy_allocation`] against a caller-provided candidate cache, so the
+/// DP can share the candidates it already enumerated with its greedy floor.
+fn greedy_with_cache(
+    queue: &[&JobState],
+    env: &AllocEnv<'_>,
+    usage: &Usage,
+    cache: &mut CandidateCache,
+) -> Selection {
     let mut order: Vec<usize> = (0..queue.len()).collect();
     let keys: Vec<(f64, f64)> = queue
         .iter()
@@ -125,9 +150,7 @@ pub fn greedy_allocation(queue: &[&JobState], env: &AllocEnv<'_>, usage: &Usage)
             }
             let t_min = s.remaining_iters / best;
             let elapsed = (env.now - s.job.arrival).max(0.0);
-            let density = env
-                .utility
-                .value(&s.job, elapsed + t_min, env.now + t_min)
+            let density = env.utility.value(&s.job, elapsed + t_min, env.now + t_min)
                 / (s.job.gang as f64 * t_min);
             (density, t_min)
         })
@@ -151,7 +174,7 @@ pub fn greedy_allocation(queue: &[&JobState], env: &AllocEnv<'_>, usage: &Usage)
         if usage.is_cluster_full(env.cluster) {
             break;
         }
-        if let Some(cand) = find_alloc(queue[i], env, &usage) {
+        if let Some(cand) = cache.best(queue[i], env, &usage) {
             for s in cand.placement.slices() {
                 usage.add(s.machine, s.gpu, s.count);
             }
@@ -249,8 +272,7 @@ mod tests {
     #[test]
     fn dp_matches_exhaustive_on_tiny_instance() {
         // Two jobs contending for the 2 V100s: at most one can take both.
-        let (cluster, states) =
-            mk_states(&[(DlTask::ResNet18, 2, 40), (DlTask::ResNet18, 2, 40)]);
+        let (cluster, states) = mk_states(&[(DlTask::ResNet18, 2, 40), (DlTask::ResNet18, 2, 40)]);
         let (dp, _) = run_both(&cluster, &states);
         feasible(&cluster, &dp, &states);
         // Both jobs can actually be placed: one on V100s, one on P100s.
@@ -300,30 +322,28 @@ mod tests {
 }
 
 #[cfg(test)]
-mod proptests {
+mod randomized_tests {
     use super::*;
     use crate::price::PriceState;
     use crate::utility::EffectiveThroughput;
     use hadar_cluster::{Cluster, CommCostModel, JobId};
+    use hadar_rng::{Rng, StdRng};
     use hadar_workload::{DlTask, Job};
-    use proptest::prelude::*;
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(24))]
-
-        /// DP and greedy selections on random queues are always feasible
-        /// (capacity + gang), carry non-negative payoffs, and the DP never
-        /// scores below the greedy.
-        #[test]
-        fn selections_feasible_and_dp_dominates(
-            specs in proptest::collection::vec(
-                (0usize..5, 1u32..=4, 1u64..=60), 1..9),
-        ) {
+    /// DP and greedy selections on random queues are always feasible
+    /// (capacity + gang), carry non-negative payoffs, and the DP never
+    /// scores below the greedy.
+    #[test]
+    fn selections_feasible_and_dp_dominates() {
+        let mut rng = StdRng::seed_from_u64(0xF6);
+        for case in 0..24 {
             let cluster = Cluster::motivation_toy();
-            let states: Vec<JobState> = specs
-                .iter()
-                .enumerate()
-                .map(|(i, &(m, gang, epochs))| {
+            let n = rng.gen_range_usize(1..9);
+            let states: Vec<JobState> = (0..n)
+                .map(|i| {
+                    let m = rng.gen_range_usize(0..5);
+                    let gang = rng.gen_range_usize(1..5) as u32;
+                    let epochs = rng.gen_range_usize(1..61) as u64;
                     JobState::new(Job::for_model(
                         JobId(i as u32),
                         DlTask::ALL[m],
@@ -350,21 +370,21 @@ mod proptests {
             let queue: Vec<&JobState> = states.iter().collect();
             let dp = dp_allocation(&queue, &env, &usage);
             let greedy = greedy_allocation(&queue, &env, &usage);
-            prop_assert!(dp.total_payoff >= greedy.total_payoff - 1e-9);
+            assert!(dp.total_payoff >= greedy.total_payoff - 1e-9, "case {case}");
             for sel in [&dp, &greedy] {
                 let mut u = Usage::empty(&cluster);
                 let mut seen = std::collections::HashSet::new();
                 for (i, c) in &sel.decisions {
-                    prop_assert!(seen.insert(*i), "job selected twice");
-                    prop_assert!(c.payoff > 0.0);
-                    prop_assert_eq!(c.placement.total_workers(), states[*i].job.gang);
+                    assert!(seen.insert(*i), "case {case}: job selected twice");
+                    assert!(c.payoff > 0.0, "case {case}");
+                    assert_eq!(c.placement.total_workers(), states[*i].job.gang);
                     for s in c.placement.slices() {
                         u.add(s.machine, s.gpu, s.count);
                     }
                 }
                 for h in cluster.machine_ids() {
                     for r in cluster.catalog().ids() {
-                        prop_assert!(u.get(h, r) <= cluster.capacity(h, r));
+                        assert!(u.get(h, r) <= cluster.capacity(h, r), "case {case}");
                     }
                 }
             }

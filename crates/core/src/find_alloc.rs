@@ -103,16 +103,78 @@ pub fn find_alloc(state: &JobState, env: &AllocEnv<'_>, usage: &Usage) -> Option
     find_candidates(state, env, usage).into_iter().next()
 }
 
+/// Per-round memo of [`find_candidates`] results keyed by
+/// `(job, usage fingerprint)`.
+///
+/// Within one scheduling round the prices, queue, and clock are fixed, so a
+/// job's candidate list depends only on the cluster usage it is evaluated
+/// against. The DP subroutine and its greedy floor both walk sequences of
+/// usage states that frequently coincide (the greedy admission path is one
+/// of the DP's branches); sharing this cache between them prices and ranks
+/// each distinct `(job, state)` query once instead of re-enumerating every
+/// placement. The cache must not outlive the round — prices change every
+/// round, and the profiler may substitute job profiles per round.
+#[derive(Default)]
+pub struct CandidateCache {
+    map: std::collections::HashMap<(u32, u64), Vec<Candidate>>,
+    hits: usize,
+    misses: usize,
+}
+
+impl CandidateCache {
+    /// An empty cache for one scheduling round.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The candidate list for `state` against `usage` (computed on first
+    /// use), best payoff first.
+    pub fn candidates(
+        &mut self,
+        state: &JobState,
+        env: &AllocEnv<'_>,
+        usage: &Usage,
+    ) -> &[Candidate] {
+        let key = (state.job.id.0, usage.fingerprint());
+        match self.map.entry(key) {
+            std::collections::hash_map::Entry::Occupied(e) => {
+                self.hits += 1;
+                e.into_mut()
+            }
+            std::collections::hash_map::Entry::Vacant(e) => {
+                self.misses += 1;
+                e.insert(find_candidates(state, env, usage))
+            }
+        }
+    }
+
+    /// The best positive-payoff candidate, as [`find_alloc`] returns it.
+    pub fn best(
+        &mut self,
+        state: &JobState,
+        env: &AllocEnv<'_>,
+        usage: &Usage,
+    ) -> Option<Candidate> {
+        self.candidates(state, env, usage).first().cloned()
+    }
+
+    /// Queries answered from the memo.
+    pub fn hits(&self) -> usize {
+        self.hits
+    }
+
+    /// Queries that had to run the full enumeration.
+    pub fn misses(&self) -> usize {
+        self.misses
+    }
+}
+
 /// All distinct positive-payoff candidate placements for `state`, best
 /// first. The DP subroutine branches over these so it can deliberately give
 /// a job a slower (cheaper) type when that frees a fast type for a job that
 /// benefits more from it.
-pub fn find_candidates(
-    state: &JobState,
-    env: &AllocEnv<'_>,
-    usage: &Usage,
-) -> Vec<Candidate> {
-    let prefs = state.job.profile.types_by_preference();
+pub fn find_candidates(state: &JobState, env: &AllocEnv<'_>, usage: &Usage) -> Vec<Candidate> {
+    let prefs: &[GpuTypeId] = state.job.profile.types_by_preference();
     if prefs.is_empty() {
         return Vec::new();
     }
@@ -137,13 +199,13 @@ pub fn find_candidates(
         consider(Some(state.placement.slices().to_vec()));
     }
 
-    for &r in &prefs {
+    for &r in prefs {
         consider(consolidated_homogeneous(env, usage, r, w));
         consider(spread_homogeneous(env, usage, r, w));
     }
     if env.features.mixed_types {
-        consider(mixed_spread(env, usage, &prefs, w));
-        consider(mixed_best_single_machine(state, env, usage, &prefs, w));
+        consider(mixed_spread(env, usage, prefs, w));
+        consider(mixed_best_single_machine(state, env, usage, prefs, w));
     }
 
     cands.sort_by(|a, b| b.payoff.partial_cmp(&a.payoff).expect("finite payoffs"));
@@ -169,7 +231,9 @@ fn evaluate(
     }
     let rate = bottleneck
         * state.job.gang as f64
-        * env.comm.placement_factor_racked(&placement, env.cluster.racks());
+        * env
+            .comm
+            .placement_factor_racked(&placement, env.cluster.racks());
     let stall = if changed { env.realloc_stall } else { 0.0 };
     let est = estimate_completion(state, rate, env.now, stall)?;
     let utility = env.utility.value(&state.job, est.jct, est.finish);
@@ -309,8 +373,7 @@ fn mixed_best_single_machine(
                     gpu: r,
                     count: take,
                 });
-                bottleneck =
-                    bottleneck.min(state.job.profile.rate(r) * env.machine_factor(h));
+                bottleneck = bottleneck.min(state.job.profile.rate(r) * env.machine_factor(h));
                 remaining -= take;
             }
         }
@@ -355,14 +418,7 @@ mod tests {
 
     fn setup(gang: u32) -> (Cluster, JobState) {
         let cluster = Cluster::motivation_toy(); // 2 V100 | 3 P100 | 1 K80
-        let job = Job::for_model(
-            JobId(0),
-            DlTask::ResNet18,
-            cluster.catalog(),
-            0.0,
-            gang,
-            50,
-        );
+        let job = Job::for_model(JobId(0), DlTask::ResNet18, cluster.catalog(), 0.0, gang, 50);
         (cluster, JobState::new(job))
     }
 
@@ -552,6 +608,39 @@ mod tests {
         let got = price_of(&e, &usage, &p);
         let unit = prices.price(GpuTypeId(0), 0, 2);
         assert!((got - 2.0 * unit).abs() < 1e-12);
+    }
+
+    #[test]
+    fn candidate_cache_memoizes_per_state() {
+        let (cluster, state) = setup(2);
+        let comm = CommCostModel::default();
+        let prices = prices_for(&cluster, &state);
+        let u = EffectiveThroughput;
+        let e = env(&cluster, &comm, &prices, &u);
+        let usage = Usage::empty(&cluster);
+        let mut cache = CandidateCache::new();
+
+        let direct = find_candidates(&state, &e, &usage);
+        assert_eq!(cache.candidates(&state, &e, &usage), direct.as_slice());
+        assert_eq!((cache.hits(), cache.misses()), (0, 1));
+        // Same (job, usage) again: answered from the memo, same content.
+        assert_eq!(cache.candidates(&state, &e, &usage), direct.as_slice());
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+        // `best` agrees with `find_alloc`.
+        assert_eq!(
+            cache.best(&state, &e, &usage),
+            find_alloc(&state, &e, &usage)
+        );
+        assert_eq!((cache.hits(), cache.misses()), (2, 1));
+
+        // A different usage state is a distinct key.
+        let mut used = usage.clone();
+        used.add(MachineId(0), GpuTypeId(0), 2);
+        assert_eq!(
+            cache.candidates(&state, &e, &used),
+            find_candidates(&state, &e, &used).as_slice()
+        );
+        assert_eq!((cache.hits(), cache.misses()), (2, 2));
     }
 
     #[test]

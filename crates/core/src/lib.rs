@@ -64,9 +64,11 @@ pub mod theory;
 pub mod utility;
 
 pub use config::{AllocMode, HadarConfig};
-pub use find_alloc::Features;
+pub use find_alloc::{CandidateCache, Features};
 pub use price::{CompetitiveBound, PriceState};
 pub use profiler::ThroughputEstimator;
 pub use scheduler::HadarScheduler;
 pub use theory::{audit_round, RoundAudit};
-pub use utility::{EffectiveThroughput, FtfUtility, MinMakespan, RawEffectiveThroughput, Utility, UtilityKind};
+pub use utility::{
+    EffectiveThroughput, FtfUtility, MinMakespan, RawEffectiveThroughput, Utility, UtilityKind,
+};

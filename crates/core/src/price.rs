@@ -114,8 +114,7 @@ impl PriceState {
                 *slot = slot.max(val);
             }
             // Worst case (Eq. 7 numerator): finish at the horizon.
-            let worst =
-                utility.value(&s.job, horizon - s.job.arrival, horizon) / (t_max * w);
+            let worst = utility.value(&s.job, horizon - s.job.arrival, horizon) / (t_max * w);
             if worst.is_finite() {
                 u_min_all = u_min_all.min(worst);
             }
@@ -273,29 +272,28 @@ mod tests {
 }
 
 #[cfg(test)]
-mod proptests {
+mod randomized_tests {
     use super::*;
     use crate::utility::EffectiveThroughput;
     use hadar_cluster::JobId;
+    use hadar_rng::{Rng, StdRng};
     use hadar_workload::{DlTask, Job};
-    use proptest::prelude::*;
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(48))]
-
-        /// For arbitrary queues: U_min ≤ U_max per type, prices are
-        /// monotone in γ, bounded by [U_min, U_max], and α ≥ 1.
-        #[test]
-        fn price_invariants(
-            specs in proptest::collection::vec(
-                (0usize..5, 1u32..=8, 1u64..=200, 0.0f64..1e5), 1..12),
-            now in 0.0f64..1e5,
-        ) {
+    /// For arbitrary queues: U_min ≤ U_max per type, prices are
+    /// monotone in γ, bounded by [U_min, U_max], and α ≥ 1.
+    #[test]
+    fn price_invariants() {
+        let mut rng = StdRng::seed_from_u64(0xE5);
+        for case in 0..48 {
             let cluster = Cluster::paper_simulation();
-            let states: Vec<hadar_sim::JobState> = specs
-                .iter()
-                .enumerate()
-                .map(|(i, &(m, gang, epochs, age))| {
+            let now = rng.gen_range_f64(0.0..1e5);
+            let n = rng.gen_range_usize(1..12);
+            let states: Vec<hadar_sim::JobState> = (0..n)
+                .map(|i| {
+                    let m = rng.gen_range_usize(0..5);
+                    let gang = rng.gen_range_usize(1..9) as u32;
+                    let epochs = rng.gen_range_usize(1..201) as u64;
+                    let age = rng.gen_range_f64(0.0..1e5);
                     hadar_sim::JobState::new(Job::for_model(
                         JobId(i as u32),
                         DlTask::ALL[m],
@@ -307,22 +305,25 @@ mod proptests {
                 })
                 .collect();
             let p = PriceState::compute(&states, &cluster, &EffectiveThroughput, now);
-            prop_assert!(p.eta >= 1.0);
-            prop_assert!(p.horizon >= now);
+            assert!(p.eta >= 1.0, "case {case}");
+            assert!(p.horizon >= now, "case {case}");
             let b = p.bound();
-            prop_assert!(b.alpha >= 1.0 && b.alpha.is_finite());
+            assert!(b.alpha >= 1.0 && b.alpha.is_finite(), "case {case}");
             for r in cluster.catalog().ids() {
                 let (lo, hi) = (p.u_min(r), p.u_max(r));
-                prop_assert!(lo >= 0.0 && hi >= lo, "type {r}: {lo} > {hi}");
+                assert!(lo >= 0.0 && hi >= lo, "case {case}: type {r}: {lo} > {hi}");
                 let cap = 4u32;
                 let mut prev = -1.0f64;
                 for g in 0..=cap {
                     let k = p.price(r, g, cap);
-                    prop_assert!(k >= prev - 1e-12, "price not monotone");
-                    prop_assert!(k >= 0.0 && k <= hi * (1.0 + 1e-9));
+                    assert!(k >= prev - 1e-12, "case {case}: price not monotone");
+                    assert!(k >= 0.0 && k <= hi * (1.0 + 1e-9), "case {case}");
                     prev = k;
                 }
-                prop_assert!((p.price(r, cap, cap) - hi).abs() <= 1e-9 * hi.max(1.0));
+                assert!(
+                    (p.price(r, cap, cap) - hi).abs() <= 1e-9 * hi.max(1.0),
+                    "case {case}"
+                );
             }
         }
     }

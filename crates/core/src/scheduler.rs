@@ -10,7 +10,6 @@ use crate::find_alloc::AllocEnv;
 use crate::price::{CompetitiveBound, PriceState};
 use crate::profiler::ThroughputEstimator;
 
-
 /// The Hadar scheduler.
 ///
 /// Per round it (re)computes the dual prices from the queue (Eqs. 5–8), runs
@@ -54,12 +53,7 @@ impl HadarScheduler {
         &self.config
     }
 
-    fn run_subroutine(
-        &self,
-        queue: &[&JobState],
-        env: &AllocEnv<'_>,
-        usage: &Usage,
-    ) -> Selection {
+    fn run_subroutine(&self, queue: &[&JobState], env: &AllocEnv<'_>, usage: &Usage) -> Selection {
         let use_dp = match self.config.alloc_mode {
             AllocMode::Dp => true,
             AllocMode::Greedy => false,
@@ -313,8 +307,8 @@ mod tests {
             penalty: PreemptionPenalty::None,
             ..SimConfig::default()
         };
-        let out = Simulation::new(cluster, jobs, cfg)
-            .run(HadarScheduler::new(HadarConfig::default()));
+        let out =
+            Simulation::new(cluster, jobs, cfg).run(HadarScheduler::new(HadarConfig::default()));
         assert_eq!(out.completed_jobs(), 2);
         // The ResNet-50 run on the V100 completes at its V100-speed time
         // (within round quantization):

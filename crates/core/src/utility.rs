@@ -101,22 +101,42 @@ impl Utility for MinMakespan {
 }
 
 /// Finish-time-fairness objective (§III-A:
-/// `min max_j (f_j − a_j)/(f_j^isolated − a_j)`): utility is the inverse of
-/// the job's fairness ratio ρ, so jobs running behind their fair share gain
-/// utility fastest.
+/// `min max_j (f_j − a_j)/(f_j^isolated − a_j)`): inverse predicted slowdown
+/// `1/ρ` weighted by the job's *tail-risk rate* `1/iso`,
+/// `U = scale / (jct · iso)`.
+///
+/// The naive choice `U = 1/ρ = iso/jct` inverts the objective's priorities:
+/// a job already behind its fair share has a large accrued `jct`, hence a
+/// *low* utility, and keeps losing the allocation auction — the longer it
+/// waits the lower it bids, a starvation spiral that empirically *worsens*
+/// max-ρ versus the throughput objective on every trace seed. The missing
+/// ingredient is that ρ grows at rate `1/iso` per second of further delay:
+/// short-fair-share jobs are the ones whose slowdown explodes while they
+/// queue. Dividing the inverse slowdown by `iso` makes each job's bid
+/// proportional to exactly that risk rate, which restores the min-max-ρ
+/// incentive while keeping the utility non-increasing in completion time as
+/// the primal–dual analysis requires.
 #[derive(Debug, Clone)]
 pub struct FtfUtility {
     cluster: Cluster,
     n_jobs: usize,
+    scale: f64,
 }
 
 impl FtfUtility {
+    /// Numeric conditioning constant: a pure multiplier on every job's
+    /// utility cancels out of all payoff/price comparisons (prices and the
+    /// communication surcharge are both derived from the same utilities) but
+    /// keeps typical values near `O(1)` instead of `O(1e-10)`.
+    pub const SCALE: f64 = 1e9;
+
     /// Build for a cluster shared by `n_jobs` jobs (the Themis `1/n`
     /// reference share).
     pub fn new(cluster: Cluster, n_jobs: usize) -> Self {
         Self {
             cluster,
             n_jobs: n_jobs.max(1),
+            scale: Self::SCALE,
         }
     }
 }
@@ -130,19 +150,22 @@ impl Utility for FtfUtility {
             return 0.0;
         }
         let iso = isolated_finish_time(job, &self.cluster, self.n_jobs);
-        if !iso.is_finite() {
+        if !iso.is_finite() || iso <= 0.0 {
             return 0.0;
         }
-        // 1/ρ = isolated / actual.
-        iso / jct
+        // (1/ρ) · (1/iso) = iso/(jct·iso²): inverse slowdown, weighted by
+        // how fast ρ degrades per second this job is kept waiting.
+        self.scale / (jct * iso)
     }
 }
 
 /// Enum-dispatch wrapper so configurations stay `Copy`-friendly and the
 /// scheduler avoids `dyn` in its hot loop. Custom utilities can still be
 /// used via [`UtilityKind::Custom`].
+#[derive(Default)]
 pub enum UtilityKind {
     /// [`EffectiveThroughput`].
+    #[default]
     EffectiveThroughput,
     /// [`MinMakespan`] with its scale.
     MinMakespan(MinMakespan),
@@ -155,12 +178,6 @@ pub enum UtilityKind {
 impl std::fmt::Debug for UtilityKind {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.write_str(self.name())
-    }
-}
-
-impl Default for UtilityKind {
-    fn default() -> Self {
-        UtilityKind::EffectiveThroughput
     }
 }
 
@@ -226,15 +243,37 @@ mod tests {
     }
 
     #[test]
-    fn ftf_utility_is_inverse_rho() {
+    fn ftf_utility_is_risk_weighted_inverse_slowdown() {
         let j = job();
         let c = Cluster::paper_simulation();
         let iso = isolated_finish_time(&j, &c, 4);
         let u = FtfUtility::new(c, 4);
-        // Finishing exactly at fair share → utility 1.
-        assert!((u.value(&j, iso, iso) - 1.0).abs() < 1e-9);
-        // Finishing in half the fair time → utility 2.
-        assert!((u.value(&j, iso / 2.0, iso / 2.0) - 2.0).abs() < 1e-9);
+        // U = scale/(jct·iso): at fair share (ρ = 1) the bid is scale/iso².
+        let at_fair = u.value(&j, iso, iso);
+        assert!((at_fair - FtfUtility::SCALE / (iso * iso)).abs() < 1e-9 * at_fair);
+        // Finishing in half the fair time doubles the bid...
+        assert!((u.value(&j, iso / 2.0, iso / 2.0) - 2.0 * at_fair).abs() < 1e-9 * at_fair);
+        // ...and it is strictly decreasing in jct (primal–dual requirement).
+        assert!(u.value(&j, iso * 2.0, iso * 2.0) < at_fair);
+    }
+
+    #[test]
+    fn ftf_utility_prioritizes_high_risk_jobs() {
+        // Two jobs at the *same* predicted slowdown ρ: the one with the
+        // shorter fair-share time (whose ρ inflates fastest per second of
+        // queueing) must bid strictly higher.
+        let c = Cluster::paper_simulation();
+        let small = Job::for_model(JobId(1), DlTask::ResNet18, c.catalog(), 0.0, 1, 10);
+        let big = Job::for_model(JobId(2), DlTask::ResNet18, c.catalog(), 0.0, 1, 1000);
+        let iso_small = isolated_finish_time(&small, &c, 4);
+        let iso_big = isolated_finish_time(&big, &c, 4);
+        assert!(iso_small < iso_big);
+        let u = FtfUtility::new(c, 4);
+        let rho = 1.5;
+        assert!(
+            u.value(&small, rho * iso_small, rho * iso_small)
+                > u.value(&big, rho * iso_big, rho * iso_big)
+        );
     }
 
     #[test]

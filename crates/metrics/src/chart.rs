@@ -10,10 +10,7 @@
 pub fn line_chart(series: &[(&str, &[(f64, f64)])], width: usize, height: usize) -> String {
     assert!(width >= 16 && height >= 4, "chart too small");
     const GLYPHS: [char; 6] = ['*', 'o', '+', 'x', '#', '@'];
-    let all: Vec<(f64, f64)> = series
-        .iter()
-        .flat_map(|(_, s)| s.iter().copied())
-        .collect();
+    let all: Vec<(f64, f64)> = series.iter().flat_map(|(_, s)| s.iter().copied()).collect();
     if all.is_empty() {
         return String::from("(no data)\n");
     }
@@ -39,6 +36,9 @@ pub fn line_chart(series: &[(&str, &[(f64, f64)])], width: usize, height: usize)
         // column's x.
         let mut idx = 0usize;
         let mut last_y: Option<f64> = None;
+        // Columns index both the x interpolation and `grid[row][col]`, so a
+        // plain range is clearer than iterating rows.
+        #[allow(clippy::needless_range_loop)]
         for col in 0..width {
             let x = x_min + (x_max - x_min) * col as f64 / (width - 1) as f64;
             while idx < s.len() && s[idx].0 <= x {

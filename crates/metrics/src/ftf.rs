@@ -33,7 +33,7 @@ pub fn isolated_finish_time(job: &Job, cluster: &Cluster, n_jobs: usize) -> f64 
 pub fn best_full_cluster_rate(job: &Job, cluster: &Cluster) -> f64 {
     let mut remaining = job.gang;
     let mut slowest_used = f64::INFINITY;
-    for r in job.profile.types_by_preference() {
+    for &r in job.profile.types_by_preference() {
         let avail = cluster.total_of_type(r);
         if avail == 0 {
             continue;

@@ -64,14 +64,14 @@ impl Table {
                 out.push_str(c);
                 // Pad all but the last column.
                 if i + 1 < cols {
-                    out.extend(std::iter::repeat(' ').take(widths[i] - c.len()));
+                    out.extend(std::iter::repeat_n(' ', widths[i] - c.len()));
                 }
             }
             out.push('\n');
         };
         emit(&mut out, &self.header);
         let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
-        out.extend(std::iter::repeat('-').take(total));
+        out.extend(std::iter::repeat_n('-', total));
         out.push('\n');
         for row in &self.rows {
             emit(&mut out, row);

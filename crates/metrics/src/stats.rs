@@ -26,10 +26,7 @@ impl SummaryStats {
     /// # Panics
     /// Panics if any value is NaN.
     pub fn of(values: &[f64]) -> Self {
-        assert!(
-            values.iter().all(|v| !v.is_nan()),
-            "NaN in metric sample"
-        );
+        assert!(values.iter().all(|v| !v.is_nan()), "NaN in metric sample");
         if values.is_empty() {
             return Self {
                 count: 0,

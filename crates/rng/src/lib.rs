@@ -1,0 +1,177 @@
+//! Deterministic pseudo-random numbers for trace generation, straggler
+//! injection, and randomized tests.
+//!
+//! The workspace needs reproducible streams (equal seeds ⇒ identical
+//! traces on every platform) but no cryptographic strength, so a small
+//! vendored [xoshiro256++][ref] generator with a splitmix64 seeder covers
+//! everything. The API mirrors the subset of `rand` the workspace uses:
+//! [`StdRng::seed_from_u64`] plus the sampling helpers on the [`Rng`]
+//! trait.
+//!
+//! [ref]: https://prng.di.unimi.it/
+
+use std::ops::Range;
+
+/// Sampling interface over a raw `u64` stream. All provided methods are
+/// deterministic functions of [`Rng::next_u64`], so any two generators
+/// with the same stream sample identically.
+pub trait Rng {
+    /// The next 64 uniformly distributed bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform `f64` in `[0, 1)` (53 mantissa bits).
+    #[inline]
+    fn gen_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform integer in `[range.start, range.end)`.
+    ///
+    /// # Panics
+    /// Panics on an empty range.
+    #[inline]
+    fn gen_range_usize(&mut self, range: Range<usize>) -> usize {
+        let len = range
+            .end
+            .checked_sub(range.start)
+            .filter(|&l| l > 0)
+            .expect("gen_range_usize: empty range");
+        // Multiply-shift bounding; bias is < len / 2^64, irrelevant here.
+        let hi = ((self.next_u64() as u128 * len as u128) >> 64) as usize;
+        range.start + hi
+    }
+
+    /// Uniform `f64` in `[range.start, range.end)`.
+    ///
+    /// # Panics
+    /// Panics on an empty or non-finite range.
+    #[inline]
+    fn gen_range_f64(&mut self, range: Range<f64>) -> f64 {
+        assert!(
+            range.start.is_finite() && range.end.is_finite() && range.start < range.end,
+            "gen_range_f64: bad range {range:?}"
+        );
+        range.start + self.gen_f64() * (range.end - range.start)
+    }
+}
+
+/// The workspace's standard generator: xoshiro256++, seeded via splitmix64.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+impl StdRng {
+    /// Build a generator whose full state is derived from `seed` by four
+    /// rounds of splitmix64 (the initialization recommended by the xoshiro
+    /// authors — never yields the all-zero state).
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        Self {
+            s: [next(), next(), next(), next()],
+        }
+    }
+}
+
+impl Rng for StdRng {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_seeds_give_equal_streams() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn f64_samples_in_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut lo = 1.0f64;
+        let mut hi = 0.0f64;
+        for _ in 0..10_000 {
+            let x = rng.gen_f64();
+            assert!((0.0..1.0).contains(&x));
+            lo = lo.min(x);
+            hi = hi.max(x);
+        }
+        // The stream actually covers the interval.
+        assert!(lo < 0.01 && hi > 0.99, "lo={lo} hi={hi}");
+    }
+
+    #[test]
+    fn usize_range_covers_support_uniformly() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut counts = [0usize; 5];
+        for _ in 0..50_000 {
+            counts[rng.gen_range_usize(0..5)] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            assert!(
+                (c as f64 - 10_000.0).abs() < 600.0,
+                "bucket {i} count {c} far from uniform"
+            );
+        }
+        // Offset ranges respect both bounds.
+        for _ in 0..1000 {
+            let v = rng.gen_range_usize(3..7);
+            assert!((3..7).contains(&v));
+        }
+    }
+
+    #[test]
+    fn f64_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..1000 {
+            let x = rng.gen_range_f64(-2.5..4.0);
+            assert!((-2.5..4.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn zero_seed_stream_is_not_degenerate() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let vals: Vec<u64> = (0..8).map(|_| rng.next_u64()).collect();
+        assert!(vals.iter().any(|&v| v != 0));
+        assert!(vals.windows(2).all(|w| w[0] != w[1]));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_usize_range_panics() {
+        StdRng::seed_from_u64(1).gen_range_usize(4..4);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad range")]
+    fn bad_f64_range_panics() {
+        StdRng::seed_from_u64(1).gen_range_f64(1.0..1.0);
+    }
+}

@@ -148,10 +148,7 @@ mod tests {
 
     #[test]
     fn penalty_variants() {
-        assert_eq!(
-            PreemptionPenalty::default().seconds(DlTask::Lstm),
-            10.0
-        );
+        assert_eq!(PreemptionPenalty::default().seconds(DlTask::Lstm), 10.0);
         assert_eq!(PreemptionPenalty::None.seconds(DlTask::Lstm), 0.0);
         let modeled = PreemptionPenalty::Modeled(CheckpointModel::default());
         assert!(modeled.seconds(DlTask::ResNet50) > 7.0);

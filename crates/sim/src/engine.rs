@@ -130,7 +130,19 @@ impl Simulation {
             {
                 let job = pending.next().expect("peeked");
                 scheduler.on_arrival(&job);
-                events.push(SimEvent::Arrival { time, job: job.id });
+                // The event carries the job's true submission time `a_j`,
+                // not the round boundary that admitted it. A mid-round
+                // arrival can predate events already logged from the
+                // previous round, so insert at the chronological position
+                // to keep the log time-sorted.
+                let idx = events.partition_point(|e| e.time() <= job.arrival);
+                events.insert(
+                    idx,
+                    SimEvent::Arrival {
+                        time: job.arrival,
+                        job: job.id,
+                    },
+                );
                 records[job.id.index()] = Some(JobRecord {
                     job: job.clone(),
                     first_scheduled: None,
@@ -158,8 +170,7 @@ impl Simulation {
 
             // Validate: capacity, gang sizes, and that only queued jobs are
             // scheduled. A violation is a policy bug — fail loudly.
-            let gang: HashMap<JobId, u32> =
-                active.iter().map(|s| (s.job.id, s.job.gang)).collect();
+            let gang: HashMap<JobId, u32> = active.iter().map(|s| (s.job.id, s.job.gang)).collect();
             for (id, _) in allocation.iter() {
                 assert!(
                     gang.contains_key(&id),
@@ -268,9 +279,7 @@ impl Simulation {
                         machine_factors.get(h.index()).copied().unwrap_or(1.0)
                     };
                     let bottleneck = new_placement
-                        .bottleneck_rate_per_slice(|h, r| {
-                            state.job.profile.rate(r) * factor_of(h)
-                        })
+                        .bottleneck_rate_per_slice(|h, r| state.job.profile.rate(r) * factor_of(h))
                         .expect("non-empty placement with positive rate");
                     for sl in new_placement.slices() {
                         let x = state.job.profile.rate(sl.gpu) * factor_of(sl.machine);
@@ -291,11 +300,8 @@ impl Simulation {
                 demand_gpus,
             });
 
-            completions.sort_by(|a, b| {
-                a.time()
-                    .partial_cmp(&b.time())
-                    .expect("finite event times")
-            });
+            completions
+                .sort_by(|a, b| a.time().partial_cmp(&b.time()).expect("finite event times"));
             events.extend(completions);
             for id in &finished {
                 scheduler.on_completion(*id);
@@ -305,16 +311,24 @@ impl Simulation {
             time += round;
         }
 
+        // A run that hits the round cap before every job has arrived leaves
+        // the unadmitted jobs without records; synthesize unstarted ones so
+        // the outcome still covers the whole trace.
+        for job in pending {
+            debug_assert!(timed_out, "job {} pending without timeout", job.id);
+            let idx = job.id.index();
+            records[idx] = Some(JobRecord {
+                job,
+                first_scheduled: None,
+                finish: None,
+                rounds_run: 0,
+                reallocations: 0,
+            });
+        }
         let records = records
             .into_iter()
             .enumerate()
-            .map(|(i, r)| {
-                r.unwrap_or_else(|| {
-                    // Job never arrived before the cap (only on timeout).
-                    assert!(timed_out, "job {i} missing record without timeout");
-                    unreachable!("records are created on arrival; timeout leaves None")
-                })
-            })
+            .map(|(i, r)| r.unwrap_or_else(|| panic!("job {i} missing record")))
             .collect::<Vec<_>>();
 
         SimOutcome::new(
@@ -362,9 +376,7 @@ pub fn job_rate_full(
     }) else {
         return 0.0;
     };
-    bottleneck
-        * placement.total_workers() as f64
-        * comm.placement_factor_racked(placement, racks)
+    bottleneck * placement.total_workers() as f64 * comm.placement_factor_racked(placement, racks)
 }
 
 #[cfg(test)]
@@ -509,6 +521,50 @@ mod tests {
     }
 
     #[test]
+    fn timeout_before_all_arrivals_returns_outcome() {
+        // Regression: the cap fires after one round while job 1 is still
+        // months away; the engine used to panic on its missing record.
+        let jobs = vec![small_job(0, 0.0, 1, 10_000), small_job(1, 1.0e9, 1, 10)];
+        let cfg = SimConfig {
+            max_rounds: 1,
+            ..no_penalty_config()
+        };
+        let out = Simulation::new(cluster(), jobs, cfg).run(FifoV100);
+        assert!(out.timed_out);
+        assert_eq!(out.records.len(), 2);
+        let never_arrived = &out.records[1];
+        assert_eq!(never_arrived.job.id, JobId(1));
+        assert!(never_arrived.first_scheduled.is_none());
+        assert!(never_arrived.finish.is_none());
+        assert_eq!(never_arrived.rounds_run, 0);
+        assert_eq!(never_arrived.reallocations, 0);
+        assert_eq!(out.completed_jobs(), 0);
+    }
+
+    #[test]
+    fn arrival_event_carries_true_arrival_time() {
+        // Job 0 completes at 1.625 × 154 = 250.25 s (within round 0); job 1
+        // arrives mid-round at 200 s and is admitted at the 360 s boundary.
+        // Its Arrival event must carry 200 s and sit *before* the earlier
+        // completion in the log, keeping the event stream time-sorted.
+        let jobs = vec![small_job(0, 0.0, 2, 154), small_job(1, 200.0, 1, 10)];
+        let out = Simulation::new(cluster(), jobs, no_penalty_config()).run(FifoV100);
+        assert_eq!(out.completed_jobs(), 2);
+        let arrivals: Vec<(f64, JobId)> = out
+            .events()
+            .iter()
+            .filter_map(|e| match *e {
+                SimEvent::Arrival { time, job } => Some((time, job)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(arrivals, vec![(0.0, JobId(0)), (200.0, JobId(1))]);
+        // The job still waits for the boundary to be scheduled.
+        assert_eq!(out.records[1].first_scheduled, Some(360.0));
+        crate::event::check_lifecycle(out.events(), 2).expect("time-sorted log");
+    }
+
+    #[test]
     #[should_panic(expected = "dense")]
     fn sparse_job_ids_rejected() {
         let jobs = vec![small_job(5, 0.0, 1, 1)];
@@ -524,7 +580,10 @@ mod tests {
             let mut a = Allocation::empty();
             // 99 GPUs on machine 0 type 0: definitely over capacity.
             for s in ctx.jobs {
-                a.set(s.job.id, JobPlacement::single(MachineId(0), GpuTypeId(0), 99));
+                a.set(
+                    s.job.id,
+                    JobPlacement::single(MachineId(0), GpuTypeId(0), 99),
+                );
             }
             a
         }

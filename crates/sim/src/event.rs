@@ -15,7 +15,9 @@ use hadar_cluster::JobId;
 pub enum SimEvent {
     /// The job entered the scheduler's queue.
     Arrival {
-        /// Round-boundary time of admission.
+        /// The job's submission time `a_j` (a mid-round arrival is only
+        /// *admitted* at the next round boundary, but the event carries the
+        /// true arrival so the log matches the trace).
         time: f64,
         /// The job.
         job: JobId,
@@ -147,7 +149,10 @@ mod tests {
     #[test]
     fn valid_lifecycle_accepted() {
         let log = vec![
-            SimEvent::Arrival { time: 0.0, job: j(0) },
+            SimEvent::Arrival {
+                time: 0.0,
+                job: j(0),
+            },
             SimEvent::Started {
                 time: 0.0,
                 job: j(0),
@@ -159,7 +164,10 @@ mod tests {
                 job: j(0),
                 machines: 2,
             },
-            SimEvent::Preempted { time: 720.0, job: j(0) },
+            SimEvent::Preempted {
+                time: 720.0,
+                job: j(0),
+            },
             SimEvent::Started {
                 time: 1080.0,
                 job: j(0),
@@ -171,20 +179,29 @@ mod tests {
         // second Started is rejected:
         assert!(check_lifecycle(&log, 1).is_err());
         let ok = vec![
-            SimEvent::Arrival { time: 0.0, job: j(0) },
+            SimEvent::Arrival {
+                time: 0.0,
+                job: j(0),
+            },
             SimEvent::Started {
                 time: 0.0,
                 job: j(0),
                 workers: 2,
                 machines: 1,
             },
-            SimEvent::Preempted { time: 360.0, job: j(0) },
+            SimEvent::Preempted {
+                time: 360.0,
+                job: j(0),
+            },
             SimEvent::Migrated {
                 time: 720.0,
                 job: j(0),
                 machines: 1,
             },
-            SimEvent::Completed { time: 900.0, job: j(0) },
+            SimEvent::Completed {
+                time: 900.0,
+                job: j(0),
+            },
         ];
         assert_eq!(check_lifecycle(&ok, 1), Ok(()));
     }
@@ -193,18 +210,33 @@ mod tests {
     fn violations_detected() {
         // Completion before start.
         let log = vec![
-            SimEvent::Arrival { time: 0.0, job: j(0) },
-            SimEvent::Completed { time: 1.0, job: j(0) },
+            SimEvent::Arrival {
+                time: 0.0,
+                job: j(0),
+            },
+            SimEvent::Completed {
+                time: 1.0,
+                job: j(0),
+            },
         ];
         assert!(check_lifecycle(&log, 1).unwrap_err().contains("completion"));
         // Time going backwards.
         let log = vec![
-            SimEvent::Arrival { time: 10.0, job: j(0) },
-            SimEvent::Arrival { time: 5.0, job: j(1) },
+            SimEvent::Arrival {
+                time: 10.0,
+                job: j(0),
+            },
+            SimEvent::Arrival {
+                time: 5.0,
+                job: j(1),
+            },
         ];
         assert!(check_lifecycle(&log, 2).unwrap_err().contains("backwards"));
         // Unknown job.
-        let log = vec![SimEvent::Arrival { time: 0.0, job: j(9) }];
+        let log = vec![SimEvent::Arrival {
+            time: 0.0,
+            job: j(9),
+        }];
         assert!(check_lifecycle(&log, 1).unwrap_err().contains("unknown"));
     }
 }

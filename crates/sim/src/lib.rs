@@ -52,7 +52,7 @@
 //!
 //! let cluster = Cluster::paper_simulation();
 //! let jobs = generate_trace(
-//!     &TraceConfig { num_jobs: 4, seed: 4, pattern: ArrivalPattern::Static },
+//!     &TraceConfig { num_jobs: 4, seed: 0, pattern: ArrivalPattern::Static },
 //!     cluster.catalog(),
 //! );
 //! let out = Simulation::new(cluster, jobs, SimConfig::default()).run(Greedy);
@@ -71,7 +71,7 @@ pub mod straggler;
 pub use checkpoint::{CheckpointModel, PreemptionPenalty};
 pub use engine::{job_rate, job_rate_full, job_rate_with, SimConfig, Simulation};
 pub use event::{check_lifecycle, SimEvent};
-pub use runner::run_parallel;
+pub use runner::{run_parallel, CellResult, SweepRunner};
 pub use scheduler::{JobState, Scheduler, SchedulerContext};
 pub use stats::{JobRecord, RoundRecord, SimOutcome};
 pub use straggler::{StragglerModel, StragglerState};

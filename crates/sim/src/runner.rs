@@ -1,58 +1,162 @@
 //! Parallel experiment execution.
 //!
-//! Figure sweeps (λ sweeps, round-length sweeps, multiple seeds) run many
-//! independent simulations; [`run_parallel`] fans them out over OS threads
-//! with `crossbeam::scope` so borrowed configuration can be shared without
-//! `'static` bounds.
+//! Figure sweeps (λ sweeps, round-length sweeps, multiple seeds, scheduler
+//! comparisons) run many independent simulation *cells*; the [`SweepRunner`]
+//! fans them out over a scoped OS-thread pool (`std::thread::scope`, so
+//! borrowed configuration can be captured without `'static` bounds),
+//! collects every [`SimOutcome`] in deterministic cell order, and reports
+//! per-cell wall-clock time.
+//!
+//! With `threads == 1` the runner degrades to a strict serial loop on the
+//! caller's thread — the reference path. Because each cell is an
+//! independent deterministic simulation and results are stored by cell
+//! index, the parallel path produces identical outcomes (and therefore
+//! byte-identical result CSVs) to the serial one; only wall-clock differs.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
 
 use crate::stats::SimOutcome;
+
+/// One completed sweep cell: the simulation outcome plus how long the cell
+/// took to execute on its worker thread.
+#[derive(Debug, Clone)]
+pub struct CellResult {
+    /// The simulation outcome.
+    pub outcome: SimOutcome,
+    /// Wall-clock seconds the cell spent executing (excludes queueing).
+    pub wall_seconds: f64,
+}
+
+/// Scoped thread-pool executor for independent simulation cells.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SweepRunner {
+    threads: usize,
+}
+
+impl Default for SweepRunner {
+    fn default() -> Self {
+        Self::from_env()
+    }
+}
+
+impl SweepRunner {
+    /// A runner with exactly `threads` workers (1 = serial fallback).
+    ///
+    /// # Panics
+    /// Panics if `threads == 0`.
+    pub fn new(threads: usize) -> Self {
+        assert!(threads >= 1, "SweepRunner needs at least one thread");
+        Self { threads }
+    }
+
+    /// The strict serial reference runner.
+    pub fn serial() -> Self {
+        Self { threads: 1 }
+    }
+
+    /// Thread count from the `HADAR_THREADS` environment variable if set
+    /// (and ≥ 1), else `available_parallelism()` capped at 16.
+    pub fn from_env() -> Self {
+        let threads = std::env::var("HADAR_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n >= 1)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(4)
+                    .min(16)
+            });
+        Self { threads }
+    }
+
+    /// The configured worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Execute every cell and return the timed results in cell order.
+    ///
+    /// Cells are closures so callers can capture per-cell configuration
+    /// (scheduler, seed, arrival pattern, round length) by move.
+    pub fn run<F>(&self, cells: Vec<F>) -> Vec<CellResult>
+    where
+        F: FnOnce() -> SimOutcome + Send,
+    {
+        let execute = |cell: F| {
+            let start = Instant::now();
+            let outcome = cell();
+            CellResult {
+                outcome,
+                wall_seconds: start.elapsed().as_secs_f64(),
+            }
+        };
+
+        let n = cells.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        if self.threads == 1 || n == 1 {
+            // Serial fallback: caller's thread, strict input order.
+            return cells.into_iter().map(execute).collect();
+        }
+
+        // Work-stealing by atomic index over a shared cell list; each
+        // worker writes its result into the slot of the cell it claimed,
+        // so output order never depends on thread interleaving.
+        let cells: Vec<Mutex<Option<F>>> = cells.into_iter().map(|c| Mutex::new(Some(c))).collect();
+        let mut slots: Vec<Mutex<Option<CellResult>>> = Vec::with_capacity(n);
+        slots.resize_with(n, || Mutex::new(None));
+        let next = AtomicUsize::new(0);
+
+        let workers = self.threads.min(n);
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let cell = cells[i]
+                        .lock()
+                        .expect("cell mutex poisoned")
+                        .take()
+                        .expect("each cell taken once");
+                    *slots[i].lock().expect("slot mutex poisoned") = Some(execute(cell));
+                });
+            }
+        });
+
+        slots
+            .into_iter()
+            .map(|m| {
+                m.into_inner()
+                    .expect("slot mutex poisoned")
+                    .expect("every slot filled")
+            })
+            .collect()
+    }
+
+    /// Execute every cell and return just the outcomes in cell order.
+    pub fn run_outcomes<F>(&self, cells: Vec<F>) -> Vec<SimOutcome>
+    where
+        F: FnOnce() -> SimOutcome + Send,
+    {
+        self.run(cells).into_iter().map(|c| c.outcome).collect()
+    }
+}
 
 /// Run `tasks` (each producing one [`SimOutcome`]) across up to
 /// `max_threads` worker threads, preserving input order in the result.
 ///
-/// Each task is a closure so callers can capture per-run configuration
-/// (seed, scheduler, round length) by move.
+/// Compatibility shim over [`SweepRunner::run_outcomes`].
 pub fn run_parallel<F>(tasks: Vec<F>, max_threads: usize) -> Vec<SimOutcome>
 where
     F: FnOnce() -> SimOutcome + Send,
 {
-    assert!(max_threads >= 1);
-    let n = tasks.len();
-    let mut results: Vec<Option<SimOutcome>> = Vec::with_capacity(n);
-    results.resize_with(n, || None);
-    if n == 0 {
-        return Vec::new();
-    }
-
-    // Work-stealing by atomic index over a shared task list.
-    let tasks: Vec<parking_lot::Mutex<Option<F>>> = tasks
-        .into_iter()
-        .map(|t| parking_lot::Mutex::new(Some(t)))
-        .collect();
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let slots: Vec<parking_lot::Mutex<Option<SimOutcome>>> =
-        results.into_iter().map(parking_lot::Mutex::new).collect();
-
-    let workers = max_threads.min(n);
-    crossbeam::scope(|s| {
-        for _ in 0..workers {
-            s.spawn(|_| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let task = tasks[i].lock().take().expect("each task taken once");
-                let outcome = task();
-                *slots[i].lock() = Some(outcome);
-            });
-        }
-    })
-    .expect("simulation worker panicked");
-
-    slots
-        .into_iter()
-        .map(|m| m.into_inner().expect("every slot filled"))
-        .collect()
+    SweepRunner::new(max_threads).run_outcomes(tasks)
 }
 
 #[cfg(test)]
@@ -101,9 +205,7 @@ mod tests {
     #[test]
     fn parallel_results_preserve_order() {
         let tasks: Vec<Box<dyn FnOnce() -> SimOutcome + Send>> = (1..=6)
-            .map(|i| {
-                Box::new(move || one_sim(i * 50)) as Box<dyn FnOnce() -> SimOutcome + Send>
-            })
+            .map(|i| Box::new(move || one_sim(i * 50)) as Box<dyn FnOnce() -> SimOutcome + Send>)
             .collect();
         let out = run_parallel(tasks, 3);
         assert_eq!(out.len(), 6);
@@ -121,10 +223,54 @@ mod tests {
 
     #[test]
     fn single_thread_works() {
-        let tasks: Vec<Box<dyn FnOnce() -> SimOutcome + Send>> =
-            vec![Box::new(|| one_sim(10))];
+        let tasks: Vec<Box<dyn FnOnce() -> SimOutcome + Send>> = vec![Box::new(|| one_sim(10))];
         let out = run_parallel(tasks, 1);
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].completed_jobs(), 1);
+    }
+
+    fn cell_jcts(runner: &SweepRunner) -> Vec<Vec<f64>> {
+        let cells: Vec<Box<dyn FnOnce() -> SimOutcome + Send>> = (1..=8)
+            .map(|i| Box::new(move || one_sim(i * 25)) as Box<dyn FnOnce() -> SimOutcome + Send>)
+            .collect();
+        runner
+            .run(cells)
+            .into_iter()
+            .map(|c| c.outcome.jcts())
+            .collect()
+    }
+
+    #[test]
+    fn parallel_matches_serial_exactly() {
+        let serial = cell_jcts(&SweepRunner::serial());
+        let parallel = cell_jcts(&SweepRunner::new(4));
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn parallel_runs_are_deterministic() {
+        let a = cell_jcts(&SweepRunner::new(4));
+        let b = cell_jcts(&SweepRunner::new(4));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn cells_report_wall_clock() {
+        let cells: Vec<Box<dyn FnOnce() -> SimOutcome + Send>> = vec![Box::new(|| one_sim(100))];
+        let res = SweepRunner::new(2).run(cells);
+        assert_eq!(res.len(), 1);
+        assert!(res[0].wall_seconds >= 0.0);
+        assert!(res[0].wall_seconds.is_finite());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_threads_rejected() {
+        SweepRunner::new(0);
+    }
+
+    #[test]
+    fn from_env_yields_at_least_one_thread() {
+        assert!(SweepRunner::from_env().threads() >= 1);
     }
 }

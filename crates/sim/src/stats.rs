@@ -187,8 +187,7 @@ impl SimOutcome {
         let mut capacity = 0.0;
         for r in &self.rounds {
             busy += r.busy_gpu_seconds;
-            capacity +=
-                f64::from(r.demand_gpus.min(self.total_gpus)) * self.round_length;
+            capacity += f64::from(r.demand_gpus.min(self.total_gpus)) * self.round_length;
         }
         if capacity <= 0.0 {
             0.0

@@ -18,8 +18,7 @@
 //! candidate evaluation and migrates off slow machines, while the
 //! heterogeneity-oblivious baselines keep paying the penalty.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use hadar_rng::{Rng, StdRng};
 
 /// Parameters of the per-machine straggler process.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -93,10 +92,10 @@ impl StragglerState {
             if *left > 0 {
                 *left -= 1;
                 *factor = if *left > 0 { model.slowdown } else { 1.0 };
-            } else if self.rng.gen::<f64>() < model.incidence {
+            } else if self.rng.gen_f64() < model.incidence {
                 // Geometric duration with the configured mean, at least 1.
                 let p = 1.0 / model.mean_duration_rounds;
-                let u: f64 = self.rng.gen::<f64>().max(f64::MIN_POSITIVE);
+                let u: f64 = self.rng.gen_f64().max(f64::MIN_POSITIVE);
                 let dur = ((u.ln() / (1.0 - p).ln()).ceil()).max(1.0) as u32;
                 *left = dur;
                 *factor = model.slowdown;
@@ -138,10 +137,7 @@ mod tests {
             ..StragglerModel::default()
         };
         let run = |seed: u64| -> Vec<Vec<f64>> {
-            let mut s = StragglerState::new(
-                Some(StragglerModel { seed, ..model }),
-                6,
-            );
+            let mut s = StragglerState::new(Some(StragglerModel { seed, ..model }), 6);
             (0..50).map(|_| s.step().to_vec()).collect()
         };
         assert_eq!(run(1), run(1));

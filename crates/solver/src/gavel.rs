@@ -143,18 +143,21 @@ fn extract(outcome: LpOutcome, num_jobs: usize, num_types: usize) -> Option<Vec<
 pub fn feasibility_violation(input: &GavelLpInput, y: &[Vec<f64>]) -> f64 {
     let (num_jobs, num_types) = input.validate();
     let mut worst = 0.0f64;
-    for j in 0..num_jobs {
-        let s: f64 = y[j].iter().sum();
+    for row in y.iter().take(num_jobs) {
+        let s: f64 = row.iter().sum();
         worst = worst.max(s - 1.0);
-        for r in 0..num_types {
-            worst = worst.max(-y[j][r]);
+        for &v in row.iter().take(num_types) {
+            worst = worst.max(-v);
         }
     }
-    for r in 0..num_types {
-        let demand: f64 = (0..num_jobs)
-            .map(|j| y[j][r] * input.gang[j] as f64)
+    for (r, &cap) in input.capacity.iter().enumerate().take(num_types) {
+        let demand: f64 = y
+            .iter()
+            .zip(&input.gang)
+            .take(num_jobs)
+            .map(|(row, &g)| row[r] * g as f64)
             .sum();
-        worst = worst.max(demand - input.capacity[r] as f64);
+        worst = worst.max(demand - cap as f64);
     }
     worst
 }
@@ -177,7 +180,11 @@ mod tests {
         let y = max_total_throughput_allocation(&toy()).unwrap();
         // Optimal: job0 fully on type0 (10), job1 fully on type1 (4) → 14.
         let total: f64 = (0..2)
-            .map(|j| (0..2).map(|r| y[j][r] * toy().throughput[j][r]).sum::<f64>())
+            .map(|j| {
+                (0..2)
+                    .map(|r| y[j][r] * toy().throughput[j][r])
+                    .sum::<f64>()
+            })
             .sum();
         assert!((total - 14.0).abs() < 1e-6, "total={total}, y={y:?}");
         assert!(feasibility_violation(&toy(), &y) < 1e-7);
@@ -191,7 +198,10 @@ mod tests {
         // Normalized throughputs of both jobs should be equal-ish and high.
         let norm = |j: usize| -> f64 {
             let m = input.throughput[j].iter().copied().fold(0.0, f64::max);
-            (0..2).map(|r| y[j][r] * input.throughput[j][r]).sum::<f64>() / m
+            (0..2)
+                .map(|r| y[j][r] * input.throughput[j][r])
+                .sum::<f64>()
+                / m
         };
         let (n0, n1) = (norm(0), norm(1));
         assert!(n0 > 0.5 && n1 > 0.5, "n0={n0} n1={n1}");
@@ -276,61 +286,83 @@ mod tests {
 }
 
 #[cfg(test)]
-mod proptests {
+mod randomized_tests {
     use super::*;
-    use proptest::prelude::*;
+    use hadar_rng::{Rng, StdRng};
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(32))]
+    fn random_instance(rng: &mut StdRng, max_jobs: usize, types: usize, lo: f64) -> GavelLpInput {
+        let jobs = rng.gen_range_usize(1..max_jobs.max(2));
+        GavelLpInput {
+            throughput: (0..jobs)
+                .map(|_| (0..types).map(|_| rng.gen_range_f64(lo..30.0)).collect())
+                .collect(),
+            gang: (0..jobs)
+                .map(|_| rng.gen_range_usize(1..5) as u32)
+                .collect(),
+            capacity: (0..types)
+                .map(|_| rng.gen_range_usize(1..8) as u32)
+                .collect(),
+        }
+    }
 
-        /// On random Gavel instances the exact LP allocation is feasible and
-        /// never worse than the density greedy (which is itself feasible).
-        #[test]
-        fn exact_dominates_greedy_and_both_feasible(
-            jobs in proptest::collection::vec(
-                (proptest::collection::vec(0.0f64..30.0, 3), 1u32..=4), 1..10),
-            caps in proptest::collection::vec(1u32..8, 3),
-        ) {
-            let input = GavelLpInput {
-                throughput: jobs.iter().map(|(t, _)| t.clone()).collect(),
-                gang: jobs.iter().map(|&(_, g)| g).collect(),
-                capacity: caps,
-            };
-            let exact = match max_total_throughput_allocation(&input) {
-                Some(y) => y,
-                None => return Err(TestCaseError::fail("LP failed")),
-            };
+    /// On random Gavel instances the exact LP allocation is feasible and
+    /// never worse than the density greedy (which is itself feasible).
+    #[test]
+    fn exact_dominates_greedy_and_both_feasible() {
+        let mut rng = StdRng::seed_from_u64(0xA1);
+        for case in 0..32 {
+            let input = random_instance(&mut rng, 10, 3, 0.0);
+            let exact = max_total_throughput_allocation(&input)
+                .unwrap_or_else(|| panic!("case {case}: LP failed"));
             let greedy = crate::greedy::greedy_total_throughput(&input);
-            prop_assert!(feasibility_violation(&input, &exact) < 1e-6);
-            prop_assert!(feasibility_violation(&input, &greedy) < 1e-6);
+            assert!(feasibility_violation(&input, &exact) < 1e-6, "case {case}");
+            assert!(feasibility_violation(&input, &greedy) < 1e-6, "case {case}");
             let oe = crate::greedy::total_throughput_objective(&input, &exact);
             let og = crate::greedy::total_throughput_objective(&input, &greedy);
-            prop_assert!(oe >= og - 1e-6, "exact {oe} below greedy {og}");
+            assert!(oe >= og - 1e-6, "case {case}: exact {oe} below greedy {og}");
         }
+    }
 
-        /// Max-min allocations are feasible and (weakly) raise the minimum
-        /// normalized throughput compared to the total-throughput optimum.
-        #[test]
-        fn max_min_raises_the_floor(
-            jobs in proptest::collection::vec(
-                (proptest::collection::vec(0.5f64..30.0, 2), 1u32..=2), 2..6),
-        ) {
+    /// Max-min allocations are feasible and (weakly) raise the minimum
+    /// normalized throughput compared to the total-throughput optimum.
+    #[test]
+    fn max_min_raises_the_floor() {
+        let mut rng = StdRng::seed_from_u64(0xB2);
+        for case in 0..32 {
+            let jobs = rng.gen_range_usize(2..6);
             let input = GavelLpInput {
-                throughput: jobs.iter().map(|(t, _)| t.clone()).collect(),
-                gang: jobs.iter().map(|&(_, g)| g).collect(),
+                throughput: (0..jobs)
+                    .map(|_| (0..2).map(|_| rng.gen_range_f64(0.5..30.0)).collect())
+                    .collect(),
+                gang: (0..jobs)
+                    .map(|_| rng.gen_range_usize(1..3) as u32)
+                    .collect(),
                 capacity: vec![2, 2],
             };
             let fair = max_min_allocation(&input).expect("feasible");
             let total = max_total_throughput_allocation(&input).expect("feasible");
-            prop_assert!(feasibility_violation(&input, &fair) < 1e-6);
+            assert!(feasibility_violation(&input, &fair) < 1e-6, "case {case}");
             let floor = |y: &Vec<Vec<f64>>| -> f64 {
-                input.throughput.iter().enumerate().map(|(j, row)| {
-                    let norm = row.iter().copied().fold(0.0, f64::max);
-                    row.iter().enumerate().map(|(r, &x)| y[j][r] * x).sum::<f64>() / norm
-                }).fold(f64::INFINITY, f64::min)
+                input
+                    .throughput
+                    .iter()
+                    .enumerate()
+                    .map(|(j, row)| {
+                        let norm = row.iter().copied().fold(0.0, f64::max);
+                        row.iter()
+                            .enumerate()
+                            .map(|(r, &x)| y[j][r] * x)
+                            .sum::<f64>()
+                            / norm
+                    })
+                    .fold(f64::INFINITY, f64::min)
             };
-            prop_assert!(floor(&fair) >= floor(&total) - 1e-6,
-                "fair floor {} below total-throughput floor {}", floor(&fair), floor(&total));
+            assert!(
+                floor(&fair) >= floor(&total) - 1e-6,
+                "case {case}: fair floor {} below total-throughput floor {}",
+                floor(&fair),
+                floor(&total)
+            );
         }
     }
 }

@@ -294,9 +294,7 @@ impl Tableau {
             if self.basis[i] < self.artificial_start {
                 continue;
             }
-            if let Some(j) = (0..self.artificial_start)
-                .find(|&j| self.rows[i][j].abs() > 1e-7)
-            {
+            if let Some(j) = (0..self.artificial_start).find(|&j| self.rows[i][j].abs() > 1e-7) {
                 self.pivot(i, j);
             }
         }
@@ -528,20 +526,20 @@ mod tests {
 }
 
 #[cfg(test)]
-mod proptests {
+mod randomized_tests {
     use super::*;
-    use proptest::prelude::*;
+    use hadar_rng::{Rng, StdRng};
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(64))]
-
-        /// Box-constrained LPs have the closed-form optimum Σ max(c_i, 0)·u_i;
-        /// the simplex must find it exactly.
-        #[test]
-        fn box_lp_matches_closed_form(
-            spec in proptest::collection::vec((-5.0f64..5.0, 0.1f64..10.0), 1..8)
-        ) {
-            let n = spec.len();
+    /// Box-constrained LPs have the closed-form optimum Σ max(c_i, 0)·u_i;
+    /// the simplex must find it exactly.
+    #[test]
+    fn box_lp_matches_closed_form() {
+        let mut rng = StdRng::seed_from_u64(0xC3);
+        for case in 0..64 {
+            let n = rng.gen_range_usize(1..8);
+            let spec: Vec<(f64, f64)> = (0..n)
+                .map(|_| (rng.gen_range_f64(-5.0..5.0), rng.gen_range_f64(0.1..10.0)))
+                .collect();
             let mut p = LpProblem::maximize(n);
             for (i, &(c, u)) in spec.iter().enumerate() {
                 p.set_objective(i, c);
@@ -549,26 +547,38 @@ mod proptests {
             }
             let s = match p.solve() {
                 LpOutcome::Optimal(s) => s,
-                other => return Err(TestCaseError::fail(format!("not optimal: {other:?}"))),
+                other => panic!("case {case}: not optimal: {other:?}"),
             };
             let expect: f64 = spec.iter().map(|&(c, u)| c.max(0.0) * u).sum();
-            prop_assert!((s.objective - expect).abs() < 1e-6 * (1.0 + expect.abs()),
-                "got {} expected {expect}", s.objective);
+            assert!(
+                (s.objective - expect).abs() < 1e-6 * (1.0 + expect.abs()),
+                "case {case}: got {} expected {expect}",
+                s.objective
+            );
             // Solution is feasible for the box.
             for (i, &(_, u)) in spec.iter().enumerate() {
-                prop_assert!(s.x[i] >= -1e-9 && s.x[i] <= u + 1e-9);
+                assert!(s.x[i] >= -1e-9 && s.x[i] <= u + 1e-9, "case {case}");
             }
         }
+    }
 
-        /// Random ≤-constrained LPs with non-negative RHS are always feasible
-        /// (x = 0); any returned optimum must satisfy every constraint and
-        /// dominate the origin's objective value of 0 when some c > 0.
-        #[test]
-        fn random_le_lp_solution_is_feasible(
-            rows in proptest::collection::vec(
-                (proptest::collection::vec(0.0f64..4.0, 3), 0.5f64..20.0), 1..6),
-            c in proptest::collection::vec(0.0f64..3.0, 3),
-        ) {
+    /// Random ≤-constrained LPs with non-negative RHS are always feasible
+    /// (x = 0); any returned optimum must satisfy every constraint and
+    /// dominate the origin's objective value of 0 when some c > 0.
+    #[test]
+    fn random_le_lp_solution_is_feasible() {
+        let mut rng = StdRng::seed_from_u64(0xD4);
+        for case in 0..64 {
+            let num_rows = rng.gen_range_usize(1..6);
+            let rows: Vec<(Vec<f64>, f64)> = (0..num_rows)
+                .map(|_| {
+                    (
+                        (0..3).map(|_| rng.gen_range_f64(0.0..4.0)).collect(),
+                        rng.gen_range_f64(0.5..20.0),
+                    )
+                })
+                .collect();
+            let c: Vec<f64> = (0..3).map(|_| rng.gen_range_f64(0.0..3.0)).collect();
             let mut p = LpProblem::maximize(3);
             for (i, &ci) in c.iter().enumerate() {
                 p.set_objective(i, ci);
@@ -589,15 +599,18 @@ mod proptests {
             }
             let s = match p.solve() {
                 LpOutcome::Optimal(s) => s,
-                other => return Err(TestCaseError::fail(format!("not optimal: {other:?}"))),
+                other => panic!("case {case}: not optimal: {other:?}"),
             };
-            prop_assert!(s.objective >= -1e-9);
+            assert!(s.objective >= -1e-9, "case {case}");
             for (coeffs, rhs) in &rows {
                 let lhs: f64 = coeffs.iter().zip(&s.x).map(|(a, x)| a * x).sum();
-                prop_assert!(lhs <= rhs + 1e-6, "constraint violated: {lhs} > {rhs}");
+                assert!(
+                    lhs <= rhs + 1e-6,
+                    "case {case}: constraint violated: {lhs} > {rhs}"
+                );
             }
             for x in &s.x {
-                prop_assert!(*x >= -1e-9);
+                assert!(*x >= -1e-9, "case {case}");
             }
         }
     }

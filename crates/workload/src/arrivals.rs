@@ -1,7 +1,7 @@
 //! Job arrival processes (§IV-A): *static* (all jobs available at t = 0) and
 //! *continuous* (Poisson arrivals with a configurable rate λ).
 
-use rand::Rng;
+use hadar_rng::Rng;
 
 /// Arrival pattern for a generated trace.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -39,7 +39,7 @@ impl ArrivalPattern {
                     .map(|_| {
                         // Inverse-CDF exponential sample; `1 - u ∈ (0, 1]`
                         // keeps ln() finite.
-                        let u: f64 = rng.gen::<f64>();
+                        let u: f64 = rng.gen_f64();
                         t += -mean_gap_s * (1.0 - u).ln();
                         t
                     })
@@ -52,8 +52,7 @@ impl ArrivalPattern {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use hadar_rng::StdRng;
 
     #[test]
     fn static_pattern_is_all_zero() {

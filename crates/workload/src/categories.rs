@@ -110,7 +110,7 @@ mod tests {
             let total: f64 = c.gang_distribution().iter().map(|&(_, w)| w).sum();
             assert!((total - 1.0).abs() < 1e-12, "{c}: weights sum to {total}");
             for &(g, _) in c.gang_distribution() {
-                assert!(g >= 1 && g <= 8);
+                assert!((1..=8).contains(&g));
             }
         }
     }

@@ -177,10 +177,10 @@ impl DlTask {
     /// paper's terminology) for the model's dataset at its usual batch size.
     pub fn iterations_per_epoch(self) -> u64 {
         match self {
-            DlTask::ResNet50 => 5_000, // ImageNet / 256
-            DlTask::ResNet18 => 390,   // CIFAR-10 / 128
-            DlTask::Lstm => 1_320,     // Wikitext-2 bptt batches
-            DlTask::CycleGan => 1_070, // monet2photo pairs
+            DlTask::ResNet50 => 5_000,  // ImageNet / 256
+            DlTask::ResNet18 => 390,    // CIFAR-10 / 128
+            DlTask::Lstm => 1_320,      // Wikitext-2 bptt batches
+            DlTask::CycleGan => 1_070,  // monet2photo pairs
             DlTask::Transformer => 906, // Multi30K / 32
         }
     }

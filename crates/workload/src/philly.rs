@@ -13,8 +13,7 @@
 //! [`jobs_from_philly`] applies the §IV-A recipe to produce scheduler-ready
 //! [`Job`]s whose best-case GPU-time matches the recorded one.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use hadar_rng::{Rng, StdRng};
 
 use hadar_cluster::{GpuCatalog, JobId};
 
@@ -92,9 +91,7 @@ pub fn busiest_window(rows: &[PhillyRow], window_hours: f64) -> Vec<PhillyRow> {
         if hi < lo {
             hi = lo;
         }
-        while hi < sorted.len()
-            && sorted[hi].submit_time_s <= sorted[lo].submit_time_s + window
-        {
+        while hi < sorted.len() && sorted[hi].submit_time_s <= sorted[lo].submit_time_s + window {
             hi += 1;
         }
         if hi - lo > best_count {
@@ -122,7 +119,7 @@ pub fn jobs_from_philly(rows: &[PhillyRow], catalog: &GpuCatalog, seed: u64) -> 
         .map(|(i, row)| {
             let class = SizeClass::of_gpu_hours(row.gpu_hours());
             let models = models_of_class(class);
-            let model = models[rng.gen_range(0..models.len())];
+            let model = models[rng.gen_range_usize(0..models.len())];
             let profile = ThroughputProfile::for_model(model, catalog);
             let x_max = profile.max_rate();
             assert!(x_max > 0.0, "{model} cannot run on any catalog type");
@@ -177,9 +174,15 @@ mod tests {
     #[test]
     fn rejects_malformed_rows() {
         assert!(parse_philly_csv("h\n1,2\n").is_err());
-        assert!(parse_philly_csv("h\nx,0,0,100\n").unwrap_err().contains("range"));
-        assert!(parse_philly_csv("h\nx,1,one,100\n").unwrap_err().contains("gpu count"));
-        assert!(parse_philly_csv("h\nx,1,1,-5\n").unwrap_err().contains("range"));
+        assert!(parse_philly_csv("h\nx,0,0,100\n")
+            .unwrap_err()
+            .contains("range"));
+        assert!(parse_philly_csv("h\nx,1,one,100\n")
+            .unwrap_err()
+            .contains("gpu count"));
+        assert!(parse_philly_csv("h\nx,1,1,-5\n")
+            .unwrap_err()
+            .contains("range"));
     }
 
     #[test]

@@ -95,7 +95,6 @@ impl TraceStats {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::arrivals::ArrivalPattern;
     use crate::trace::{generate_trace, TraceConfig};
     use hadar_cluster::GpuCatalog;
 

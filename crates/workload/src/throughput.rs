@@ -12,6 +12,10 @@ use crate::model::DlTask;
 #[derive(Debug, Clone, PartialEq)]
 pub struct ThroughputProfile {
     rates: Vec<f64>,
+    /// Preference order (descending rate, zero-rate types excluded),
+    /// precomputed at construction: `FIND_ALLOC` consults it for every
+    /// candidate enumeration, so sorting on each call was pure waste.
+    prefs: Vec<GpuTypeId>,
 }
 
 impl ThroughputProfile {
@@ -25,16 +29,25 @@ impl ThroughputProfile {
             rates.iter().all(|x| x.is_finite() && *x >= 0.0),
             "throughput rates must be finite and non-negative"
         );
-        Self { rates }
+        let mut idx: Vec<usize> = (0..rates.len()).filter(|&i| rates[i] > 0.0).collect();
+        idx.sort_by(|&a, &b| {
+            rates[b]
+                .partial_cmp(&rates[a])
+                .expect("rates are finite")
+                .then(a.cmp(&b))
+        });
+        let prefs = idx.into_iter().map(|i| GpuTypeId(i as u16)).collect();
+        Self { rates, prefs }
     }
 
     /// Resolve a model's throughput table against a catalog.
     pub fn for_model(model: DlTask, catalog: &GpuCatalog) -> Self {
-        let rates = catalog
-            .iter()
-            .map(|(_, name)| model.throughput_on(name).unwrap_or(0.0))
-            .collect();
-        Self { rates }
+        Self::from_rates(
+            catalog
+                .iter()
+                .map(|(_, name)| model.throughput_on(name).unwrap_or(0.0))
+                .collect(),
+        )
     }
 
     /// `X_j^r` for type `r` (0 for unknown types).
@@ -62,17 +75,10 @@ impl ThroughputProfile {
 
     /// GPU types sorted by descending rate (ties by id), zero-rate types
     /// excluded — the sort order used by `FIND_ALLOC` (Algorithm 2 line 23).
-    pub fn types_by_preference(&self) -> Vec<GpuTypeId> {
-        let mut idx: Vec<usize> = (0..self.rates.len())
-            .filter(|&i| self.rates[i] > 0.0)
-            .collect();
-        idx.sort_by(|&a, &b| {
-            self.rates[b]
-                .partial_cmp(&self.rates[a])
-                .expect("rates are finite")
-                .then(a.cmp(&b))
-        });
-        idx.into_iter().map(|i| GpuTypeId(i as u16)).collect()
+    /// Precomputed once at construction.
+    #[inline]
+    pub fn types_by_preference(&self) -> &[GpuTypeId] {
+        &self.prefs
     }
 
     /// Number of type slots carried.
@@ -94,9 +100,7 @@ impl ThroughputProfile {
     /// measurement noise and by ablations).
     pub fn scaled(&self, factor: f64) -> Self {
         assert!(factor.is_finite() && factor >= 0.0);
-        Self {
-            rates: self.rates.iter().map(|x| x * factor).collect(),
-        }
+        Self::from_rates(self.rates.iter().map(|x| x * factor).collect())
     }
 }
 

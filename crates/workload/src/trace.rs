@@ -6,8 +6,7 @@
 //! and assigns the Table II model of that size. [`generate_trace`] implements
 //! the same recipe with a seeded RNG so every experiment is reproducible.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use hadar_rng::{Rng, StdRng};
 
 use hadar_cluster::{GpuCatalog, JobId};
 
@@ -60,7 +59,7 @@ fn models_of_class(class: SizeClass) -> &'static [DlTask] {
 /// Sample from a discrete weighted distribution.
 fn weighted_choice<R: Rng>(choices: &[(u32, f64)], rng: &mut R) -> u32 {
     let total: f64 = choices.iter().map(|&(_, w)| w).sum();
-    let mut x = rng.gen::<f64>() * total;
+    let mut x = rng.gen_f64() * total;
     for &(v, w) in choices {
         if x < w {
             return v;
@@ -83,11 +82,11 @@ pub fn generate_trace(config: &TraceConfig, catalog: &GpuCatalog) -> Vec<Job> {
         .map(|i| {
             // Uniformly sample the size class (§IV-A), then GPU-hours within
             // the class range, then a Table II model of that size.
-            let class = SizeClass::ALL[rng.gen_range(0..SizeClass::ALL.len())];
+            let class = SizeClass::ALL[rng.gen_range_usize(0..SizeClass::ALL.len())];
             let range = class.gpu_hour_range();
-            let gpu_hours = rng.gen_range(range.start..range.end);
+            let gpu_hours = rng.gen_range_f64(range.start..range.end);
             let models = models_of_class(class);
-            let model = models[rng.gen_range(0..models.len())];
+            let model = models[rng.gen_range_usize(0..models.len())];
             let gang = weighted_choice(class.gang_distribution(), &mut rng);
 
             // Choose E_j so the job's best-case GPU-time equals the sampled
@@ -145,12 +144,13 @@ pub fn load_trace_csv(csv: &str, catalog: &GpuCatalog) -> Result<Vec<Job>, Strin
         }
         let parse_err = |what: &str| format!("line {}: bad {what}", lineno + 1);
         let id: u32 = fields[0].parse().map_err(|_| parse_err("id"))?;
-        let model =
-            DlTask::from_model_name(fields[1]).ok_or_else(|| parse_err("model name"))?;
+        let model = DlTask::from_model_name(fields[1]).ok_or_else(|| parse_err("model name"))?;
         let arrival: f64 = fields[2].parse().map_err(|_| parse_err("arrival"))?;
         let gang: u32 = fields[3].parse().map_err(|_| parse_err("gang"))?;
         let epochs: u64 = fields[4].parse().map_err(|_| parse_err("epochs"))?;
-        let n: u64 = fields[5].parse().map_err(|_| parse_err("iters_per_epoch"))?;
+        let n: u64 = fields[5]
+            .parse()
+            .map_err(|_| parse_err("iters_per_epoch"))?;
         jobs.push(Job::new(
             JobId(id),
             model,
@@ -239,12 +239,9 @@ mod tests {
     fn csv_rejects_malformed_lines() {
         let cat = catalog();
         assert!(load_trace_csv("id\n1,2\n", &cat).is_err());
-        assert!(load_trace_csv(
-            "h\n0,NotAModel,0.0,1,1,10\n",
-            &cat
-        )
-        .unwrap_err()
-        .contains("model name"));
+        assert!(load_trace_csv("h\n0,NotAModel,0.0,1,1,10\n", &cat)
+            .unwrap_err()
+            .contains("model name"));
         assert!(load_trace_csv("h\n0,LSTM,zero,1,1,10\n", &cat)
             .unwrap_err()
             .contains("arrival"));

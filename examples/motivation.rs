@@ -67,9 +67,7 @@ fn run(name: &str, make: impl FnOnce() -> Box<dyn hadar::sim::Scheduler>) -> f64
 }
 
 fn main() {
-    println!(
-        "Toy cluster: 2 x V100 | 3 x P100 | 1 x K80 ; three 2-GPU jobs\n"
-    );
+    println!("Toy cluster: 2 x V100 | 3 x P100 | 1 x K80 ; three 2-GPU jobs\n");
     let hadar = run("Hadar (task-level heterogeneity-aware)", || {
         Box::new(HadarScheduler::new(HadarConfig::default()))
     });

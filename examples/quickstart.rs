@@ -40,7 +40,10 @@ fn main() {
         "GPU utilization     : {:.1} % (demand-weighted)",
         outcome.demand_weighted_utilization() * 100.0
     );
-    println!("finish-time fairness: {:.3} (mean ρ, lower is better)", outcome.ftf().mean);
+    println!(
+        "finish-time fairness: {:.3} (mean ρ, lower is better)",
+        outcome.ftf().mean
+    );
     println!(
         "queuing delay       : {:.2} h (mean)",
         outcome.queuing_delays().mean / 3600.0

@@ -8,7 +8,11 @@ use hadar::baselines::TiresiasScheduler;
 use hadar::prelude::*;
 use hadar::sim::{Scheduler, StragglerModel};
 
-fn run(name: &str, straggler: Option<StragglerModel>, make: impl Fn() -> Box<dyn Scheduler>) -> f64 {
+fn run(
+    name: &str,
+    straggler: Option<StragglerModel>,
+    make: impl Fn() -> Box<dyn Scheduler>,
+) -> f64 {
     let cluster = Cluster::paper_simulation();
     let jobs = generate_trace(
         &TraceConfig {
@@ -18,8 +22,10 @@ fn run(name: &str, straggler: Option<StragglerModel>, make: impl Fn() -> Box<dyn
         },
         cluster.catalog(),
     );
-    let mut config = SimConfig::default();
-    config.straggler = straggler;
+    let config = SimConfig {
+        straggler,
+        ..SimConfig::default()
+    };
     let out = Simulation::new(cluster, jobs, config).run(make());
     assert_eq!(out.completed_jobs(), 40);
     println!(
@@ -32,8 +38,8 @@ fn run(name: &str, straggler: Option<StragglerModel>, make: impl Fn() -> Box<dyn
 
 fn main() {
     let model = StragglerModel {
-        incidence: 0.04,   // 4% chance per machine per round
-        slowdown: 0.35,    // straggling machines run at 35% speed
+        incidence: 0.04, // 4% chance per machine per round
+        slowdown: 0.35,  // straggling machines run at 35% speed
         mean_duration_rounds: 6.0,
         seed: 5,
     };

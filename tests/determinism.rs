@@ -31,9 +31,11 @@ fn run_seeded(seed: u64, make: &dyn Fn() -> Box<dyn Scheduler>) -> SimOutcome {
     Simulation::new(cluster, jobs, SimConfig::default()).run(make())
 }
 
+type SchedulerFactory = Box<dyn Fn() -> Box<dyn Scheduler>>;
+
 #[test]
 fn identical_seeds_identical_outcomes() {
-    let factories: Vec<(&str, Box<dyn Fn() -> Box<dyn Scheduler>>)> = vec![
+    let factories: Vec<(&str, SchedulerFactory)> = vec![
         (
             "Hadar",
             Box::new(|| Box::new(HadarScheduler::new(HadarConfig::default())) as _),
@@ -46,7 +48,10 @@ fn identical_seeds_identical_outcomes() {
             "Tiresias",
             Box::new(|| Box::new(TiresiasScheduler::paper_default()) as _),
         ),
-        ("YARN-CS", Box::new(|| Box::new(YarnCsScheduler::new()) as _)),
+        (
+            "YARN-CS",
+            Box::new(|| Box::new(YarnCsScheduler::new()) as _),
+        ),
     ];
     for (name, factory) in &factories {
         let a = run_seeded(5, factory);

@@ -140,8 +140,7 @@ fn task_level_mixing_rescues_fragmented_cluster() {
         max_rounds: 50,
         ..SimConfig::default()
     };
-    let gavel = Simulation::new(cluster, vec![job], config)
-        .run(GavelScheduler::paper_default());
+    let gavel = Simulation::new(cluster, vec![job], config).run(GavelScheduler::paper_default());
     assert_eq!(gavel.completed_jobs(), 0);
     assert!(gavel.timed_out);
 }

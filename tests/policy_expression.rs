@@ -22,11 +22,7 @@ fn run_with_utility(utility: UtilityKind, n: usize, seed: u64) -> SimOutcome {
 #[test]
 fn makespan_objective_completes_and_stays_competitive() {
     let default = run_with_utility(UtilityKind::EffectiveThroughput, 40, 42);
-    let makespan = run_with_utility(
-        UtilityKind::MinMakespan(MinMakespan::default()),
-        40,
-        42,
-    );
+    let makespan = run_with_utility(UtilityKind::MinMakespan(MinMakespan::default()), 40, 42);
     assert_eq!(makespan.completed_jobs(), 40);
     // The makespan-objective schedule must not *worsen* makespan
     // meaningfully relative to the JCT-objective one.
