@@ -14,16 +14,22 @@
 //!   type `r` remain — **all tasks on one type**, gang or nothing.
 //!
 //! The LP is re-solved only when the active job set changes (arrival or
-//! completion), matching Gavel's own implementation; above
-//! [`GavelConfig::exact_lp_max_jobs`] active jobs the density-greedy
-//! approximation from `hadar-solver` is used instead of the exact simplex.
+//! completion), matching Gavel's own implementation. Every solve is exact:
+//! the sparse revised simplex in `hadar-solver` stays fast at all Fig. 7
+//! scales, and the optimal basis is cached across rounds (keyed by job
+//! identity via [`hadar_solver::GavelBasisCache`]) so an arrival or
+//! completion re-optimizes in a handful of pivots instead of a full
+//! two-phase resolve. A malformed LP input surfaces as
+//! [`GavelScheduler::last_lp_error`] and skips one scheduling decision
+//! instead of aborting the sweep.
 
 use std::collections::HashMap;
 
 use hadar_cluster::{Allocation, GpuTypeId, JobId, JobPlacement, PlacementSlice, Usage};
 use hadar_sim::{JobState, Scheduler, SchedulerContext};
 use hadar_solver::{
-    greedy_total_throughput, max_min_allocation, max_total_throughput_allocation, GavelLpInput,
+    max_min_allocation_warm, max_total_throughput_allocation_warm, GavelBasisCache, GavelLpError,
+    GavelLpInput,
 };
 
 /// Which Gavel policy objective to solve.
@@ -43,17 +49,17 @@ pub enum GavelPolicy {
 pub struct GavelConfig {
     /// Policy objective.
     pub policy: GavelPolicy,
-    /// Largest active-job count solved with the exact simplex; larger
-    /// instances use the greedy approximation (only relevant for the Fig. 7
-    /// scalability sweep and the early rounds of big static traces).
-    pub exact_lp_max_jobs: usize,
+    /// Reuse the previous round's optimal LP basis when the job set
+    /// changes (on by default; disable to force cold solves, e.g. when
+    /// isolating solver behavior in benchmarks).
+    pub warm_start: bool,
 }
 
 impl Default for GavelConfig {
     fn default() -> Self {
         Self {
             policy: GavelPolicy::MaxTotalThroughput,
-            exact_lp_max_jobs: 256,
+            warm_start: true,
         }
     }
 }
@@ -67,6 +73,12 @@ pub struct GavelScheduler {
     rounds_received: HashMap<JobId, Vec<f64>>,
     /// Job-set fingerprint of the cached LP solution.
     cached_set: u64,
+    /// Optimal basis of the previous LP solve, remapped onto the next
+    /// round's problem for warm-starting.
+    basis_cache: Option<GavelBasisCache>,
+    /// Most recent LP failure, if any (the round it occurred in scheduled
+    /// nothing; the sweep continues).
+    last_lp_error: Option<GavelLpError>,
 }
 
 impl GavelScheduler {
@@ -77,12 +89,20 @@ impl GavelScheduler {
             y: HashMap::new(),
             rounds_received: HashMap::new(),
             cached_set: 0,
+            basis_cache: None,
+            last_lp_error: None,
         }
     }
 
     /// Build with defaults (the paper's comparison configuration).
     pub fn paper_default() -> Self {
         Self::new(GavelConfig::default())
+    }
+
+    /// The most recent LP error, if the last re-solve failed (malformed
+    /// input; never happens for simulator-constructed problems).
+    pub fn last_lp_error(&self) -> Option<&GavelLpError> {
+        self.last_lp_error.as_ref()
     }
 
     fn job_set_fingerprint(jobs: &[JobState]) -> u64 {
@@ -111,20 +131,33 @@ impl GavelScheduler {
                 .map(|r| ctx.cluster.total_of_type(GpuTypeId(r as u16)))
                 .collect(),
         };
-        let y = if ctx.jobs.len() > self.config.exact_lp_max_jobs {
-            greedy_total_throughput(&input)
+        let keys: Vec<u64> = ctx.jobs.iter().map(|s| u64::from(s.job.id.0)).collect();
+        let warm = if self.config.warm_start {
+            self.basis_cache.as_ref()
         } else {
-            match self.config.policy {
-                GavelPolicy::MaxTotalThroughput => max_total_throughput_allocation(&input)
-                    .unwrap_or_else(|| greedy_total_throughput(&input)),
-                GavelPolicy::MaxMinFairness => {
-                    max_min_allocation(&input).unwrap_or_else(|| greedy_total_throughput(&input))
-                }
+            None
+        };
+        let solved = match self.config.policy {
+            GavelPolicy::MaxTotalThroughput => {
+                max_total_throughput_allocation_warm(&input, &keys, warm)
             }
+            GavelPolicy::MaxMinFairness => max_min_allocation_warm(&input, &keys, warm),
         };
         self.y.clear();
-        for (s, row) in ctx.jobs.iter().zip(y) {
-            self.y.insert(s.job.id, row);
+        match solved {
+            Ok((y, cache)) => {
+                self.basis_cache = Some(cache);
+                self.last_lp_error = None;
+                for (s, row) in ctx.jobs.iter().zip(y) {
+                    self.y.insert(s.job.id, row);
+                }
+            }
+            Err(e) => {
+                // Propagate instead of aborting: this round schedules
+                // nothing, the next job-set change retries from cold.
+                self.basis_cache = None;
+                self.last_lp_error = Some(e);
+            }
         }
     }
 
@@ -324,25 +357,28 @@ mod tests {
     }
 
     #[test]
-    fn greedy_fallback_used_beyond_threshold() {
+    fn cold_solves_complete_like_warm() {
+        // `warm_start: false` forces a cold exact solve on every job-set
+        // change; the trace must still complete either way.
         let cluster = Cluster::paper_simulation();
         let jobs = generate_trace(
             &TraceConfig {
                 num_jobs: 10,
                 seed: 4,
-                pattern: ArrivalPattern::Static,
+                pattern: ArrivalPattern::paper_continuous(),
             },
             cluster.catalog(),
         );
-        // Force the greedy path with a tiny threshold; everything must still
-        // complete.
-        let out = Simulation::new(cluster, jobs, SimConfig::default()).run(GavelScheduler::new(
-            GavelConfig {
-                exact_lp_max_jobs: 0,
+        for warm_start in [false, true] {
+            let mut sched = GavelScheduler::new(GavelConfig {
+                warm_start,
                 ..GavelConfig::default()
-            },
-        ));
-        assert_eq!(out.completed_jobs(), 10);
+            });
+            let out = Simulation::new(cluster.clone(), jobs.clone(), SimConfig::default())
+                .run(&mut sched);
+            assert_eq!(out.completed_jobs(), 10, "warm_start={warm_start}");
+            assert!(sched.last_lp_error().is_none());
+        }
     }
 
     #[test]

@@ -1,73 +1,275 @@
-//! LP-solver microbenchmarks: the exact simplex on Gavel-shaped
-//! transportation LPs vs the density-greedy approximation, across instance
-//! sizes. Plain timing harness (`cargo bench --bench solver`).
+//! LP-solver microbenchmarks on Gavel-shaped transportation LPs.
+//!
+//! Three solvers are timed across instance sizes:
+//!
+//! * **dense cold** — the reference two-phase tableau (`LpProblem::solve`),
+//! * **revised cold** — the sparse revised simplex (`solve_revised`),
+//! * **warm round-over-round** — the revised simplex warm-started from the
+//!   previous round's optimal basis after a job completion + arrival, i.e.
+//!   exactly what `GavelScheduler` does every time the active job set
+//!   changes,
+//!
+//! plus the density greedy as a floor. Results are printed and recorded in
+//! `BENCH_solver.json` (override the path with `HADAR_BENCH_OUT`) so the
+//! perf trajectory has a tracked baseline; CI runs `--quick` and uploads
+//! the file as an artifact. Plain timing harness:
+//! `cargo bench --bench solver [-- --quick]`.
 
 use std::time::Instant;
 
-use hadar_solver::{greedy_total_throughput, max_total_throughput_allocation, GavelLpInput};
+use hadar_solver::{
+    greedy_total_throughput, max_total_throughput_allocation_warm, GavelBasisCache, GavelLpInput,
+    LpProblem, Relation,
+};
 
-fn instance(jobs: usize, seed: u64) -> GavelLpInput {
-    // Deterministic xorshift-based synthetic instance, 3 GPU types.
-    let mut state = seed | 1;
-    let mut next = move || {
-        state ^= state << 13;
-        state ^= state >> 7;
-        state ^= state << 17;
-        (state >> 11) as f64 / (1u64 << 53) as f64
-    };
+const TYPES: usize = 3;
+
+fn instance(ids: &[u64], seed: u64) -> GavelLpInput {
+    // Deterministic xorshift-based synthetic instance keyed by job id, so
+    // surviving jobs keep their rows across churn rounds.
+    let throughput = ids
+        .iter()
+        .map(|&id| {
+            let mut state = (seed ^ id.wrapping_mul(0x9E37_79B9_7F4A_7C15)) | 1;
+            let mut next = move || {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                (state >> 11) as f64 / (1u64 << 53) as f64
+            };
+            let base = 1.0 + 30.0 * next();
+            vec![
+                base,
+                base * (0.3 + 0.4 * next()),
+                base * (0.05 + 0.2 * next()),
+            ]
+        })
+        .collect();
+    let gang = ids.iter().map(|&id| 1 + (id % 4) as u32).collect();
+    let jobs = ids.len();
     GavelLpInput {
-        throughput: (0..jobs)
-            .map(|_| {
-                let base = 1.0 + 30.0 * next();
-                vec![
-                    base,
-                    base * (0.3 + 0.4 * next()),
-                    base * (0.05 + 0.2 * next()),
-                ]
-            })
-            .collect(),
-        gang: (0..jobs).map(|_| 1 + (next() * 4.0) as u32).collect(),
-        capacity: vec![
-            (jobs as u32 / 4).max(2),
-            (jobs as u32 / 4).max(2),
-            (jobs as u32 / 4).max(2),
-        ],
+        throughput,
+        gang,
+        capacity: vec![(jobs as u32 / 4).max(2); TYPES],
     }
 }
 
-fn median_secs(mut f: impl FnMut(), samples: usize) -> f64 {
-    let mut times: Vec<f64> = (0..samples)
-        .map(|_| {
-            let t0 = Instant::now();
-            f();
-            t0.elapsed().as_secs_f64()
-        })
-        .collect();
+/// The total-throughput policy LP as an `LpProblem`, for timing the raw
+/// solvers on identical problems (mirrors `hadar_solver::gavel`'s builder).
+fn build_lp(input: &GavelLpInput) -> LpProblem {
+    let jobs = input.throughput.len();
+    let var = |j: usize, r: usize| j * TYPES + r;
+    let mut p = LpProblem::maximize(jobs * TYPES);
+    for (j, row) in input.throughput.iter().enumerate() {
+        for (r, &x) in row.iter().enumerate() {
+            p.set_objective(var(j, r), x * input.gang[j] as f64);
+        }
+    }
+    for j in 0..jobs {
+        let coeffs = (0..TYPES).map(|r| (var(j, r), 1.0)).collect();
+        p.add_constraint(coeffs, Relation::Le, 1.0);
+    }
+    for r in 0..TYPES {
+        let coeffs = (0..jobs)
+            .map(|j| (var(j, r), input.gang[j] as f64))
+            .collect();
+        p.add_constraint(coeffs, Relation::Le, input.capacity[r] as f64);
+    }
+    p
+}
+
+fn median(mut times: Vec<f64>) -> f64 {
     times.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
     times[times.len() / 2]
 }
 
+fn time_of(mut f: impl FnMut()) -> f64 {
+    let t0 = Instant::now();
+    f();
+    t0.elapsed().as_secs_f64()
+}
+
+/// One churn round: job `round` leaves, job `jobs + round` arrives.
+fn round_ids(jobs: usize, round: usize) -> Vec<u64> {
+    (0..jobs as u64 + round as u64)
+        .filter(|&id| id >= round as u64)
+        .collect()
+}
+
+struct SizeResult {
+    jobs: usize,
+    rows: usize,
+    vars: usize,
+    dense_cold_ms: Option<f64>,
+    revised_cold_ms: f64,
+    warm_round_ms: f64,
+    greedy_ms: f64,
+}
+
+fn bench_size(jobs: usize, rounds: usize, dense_samples: usize) -> SizeResult {
+    let seed = 0xABCD;
+    // Round 0 problem plus `rounds` perturbed successors.
+    let inputs: Vec<(Vec<u64>, GavelLpInput)> = (0..=rounds)
+        .map(|k| {
+            let ids = round_ids(jobs, k);
+            let input = instance(&ids, seed);
+            (ids, input)
+        })
+        .collect();
+
+    // Warm round-over-round: basis from round k-1 seeds round k (exactly
+    // the GavelScheduler hot path). The round-0 cold solve is not timed.
+    let mut cache: Option<GavelBasisCache> = None;
+    let mut warm_times = Vec::new();
+    for (k, (ids, input)) in inputs.iter().enumerate() {
+        let mut next_cache = None;
+        let secs = time_of(|| {
+            let (y, c) = max_total_throughput_allocation_warm(input, ids, cache.as_ref())
+                .expect("well-formed instance");
+            std::hint::black_box(&y);
+            next_cache = Some(c);
+        });
+        if k > 0 {
+            warm_times.push(secs);
+        }
+        cache = next_cache;
+    }
+
+    // Cold solves of the same perturbed rounds.
+    let revised_cold_ms = median(
+        inputs
+            .iter()
+            .skip(1)
+            .map(|(_, input)| {
+                let p = build_lp(input);
+                time_of(|| {
+                    std::hint::black_box(p.solve_revised().optimal().expect("feasible"));
+                })
+            })
+            .collect(),
+    ) * 1e3;
+    let dense_cold_ms = (dense_samples > 0).then(|| {
+        median(
+            inputs
+                .iter()
+                .skip(1)
+                .take(dense_samples)
+                .map(|(_, input)| {
+                    let p = build_lp(input);
+                    time_of(|| {
+                        std::hint::black_box(p.solve().optimal().expect("feasible"));
+                    })
+                })
+                .collect(),
+        ) * 1e3
+    });
+    let greedy_ms = median(
+        inputs
+            .iter()
+            .skip(1)
+            .map(|(_, input)| {
+                time_of(|| {
+                    std::hint::black_box(greedy_total_throughput(input).expect("well-formed"));
+                })
+            })
+            .collect(),
+    ) * 1e3;
+
+    SizeResult {
+        jobs,
+        rows: jobs + TYPES,
+        vars: jobs * TYPES,
+        dense_cold_ms,
+        revised_cold_ms,
+        warm_round_ms: median(warm_times) * 1e3,
+        greedy_ms,
+    }
+}
+
+fn fmt_ms(v: Option<f64>) -> String {
+    match v {
+        Some(ms) => format!("{ms:.4}"),
+        None => "null".to_owned(),
+    }
+}
+
 fn main() {
-    println!("simplex_transportation, 10 samples each:");
-    for n in [32usize, 128, 512] {
-        let input = instance(n, 0xABCD);
-        let med = median_secs(
-            || {
-                std::hint::black_box(max_total_throughput_allocation(&input).expect("feasible"));
-            },
-            10,
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    // (jobs, churn rounds, dense samples; 0 = skip dense at that size)
+    let plan: &[(usize, usize, usize)] = if quick {
+        &[(32, 5, 5), (128, 5, 3)]
+    } else {
+        &[
+            (32, 9, 9),
+            (128, 9, 9),
+            (512, 7, 5),
+            (1024, 5, 3),
+            (2048, 5, 0),
+        ]
+    };
+
+    println!("Gavel total-throughput LP: dense cold vs revised cold vs warm round-over-round");
+    let mut results = Vec::new();
+    for &(jobs, rounds, dense_samples) in plan {
+        let r = bench_size(jobs, rounds, dense_samples);
+        let dense = r
+            .dense_cold_ms
+            .map(|ms| format!("{ms:>10.3} ms"))
+            .unwrap_or_else(|| "   (skipped)".to_owned());
+        println!(
+            "  n={:>4} jobs ({} rows × {} vars): dense {dense} | revised {:>9.3} ms | warm {:>9.3} ms | greedy {:>7.3} ms",
+            r.jobs, r.rows, r.vars, r.revised_cold_ms, r.warm_round_ms, r.greedy_ms
         );
-        println!("  n={n:>4}: {:.3} ms", med * 1e3);
+        if let Some(d) = r.dense_cold_ms {
+            println!(
+                "          speedups vs dense: revised {:.1}×, warm round-over-round {:.1}×",
+                d / r.revised_cold_ms,
+                d / r.warm_round_ms
+            );
+        }
+        results.push(r);
     }
-    println!("greedy_transportation, 10 samples each:");
-    for n in [32usize, 128, 512, 2048] {
-        let input = instance(n, 0xABCD);
-        let med = median_secs(
-            || {
-                std::hint::black_box(greedy_total_throughput(&input));
-            },
-            10,
-        );
-        println!("  n={n:>4}: {:.3} ms", med * 1e3);
-    }
+
+    // cargo runs benches with cwd = the package root; default to the
+    // workspace root two levels up so the JSON lands next to the README.
+    let out_path = std::env::var("HADAR_BENCH_OUT")
+        .unwrap_or_else(|_| concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_solver.json").into());
+    let sizes: Vec<String> = results
+        .iter()
+        .map(|r| {
+            let speedup_rev = r
+                .dense_cold_ms
+                .map(|d| format!("{:.2}", d / r.revised_cold_ms))
+                .unwrap_or_else(|| "null".into());
+            let speedup_warm = r
+                .dense_cold_ms
+                .map(|d| format!("{:.2}", d / r.warm_round_ms))
+                .unwrap_or_else(|| "null".into());
+            format!(
+                concat!(
+                    "    {{\"jobs\": {}, \"rows\": {}, \"vars\": {}, ",
+                    "\"dense_cold_ms\": {}, \"revised_cold_ms\": {}, ",
+                    "\"warm_round_ms\": {}, \"greedy_ms\": {}, ",
+                    "\"speedup_revised_vs_dense\": {}, \"speedup_warm_vs_dense\": {}}}"
+                ),
+                r.jobs,
+                r.rows,
+                r.vars,
+                fmt_ms(r.dense_cold_ms),
+                fmt_ms(Some(r.revised_cold_ms)),
+                fmt_ms(Some(r.warm_round_ms)),
+                fmt_ms(Some(r.greedy_ms)),
+                speedup_rev,
+                speedup_warm,
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"solver\",\n  \"lp\": \"gavel_total_throughput\",\n  \"gpu_types\": {TYPES},\n  \"mode\": \"{}\",\n  \"timing\": \"median wall-clock per solve; warm = round-over-round with one completion + one arrival\",\n  \"sizes\": [\n{}\n  ]\n}}\n",
+        if quick { "quick" } else { "full" },
+        sizes.join(",\n")
+    );
+    std::fs::write(&out_path, json).expect("write BENCH_solver.json");
+    println!("wrote {out_path}");
 }

@@ -47,12 +47,9 @@ pub fn measure(num_jobs: usize, seed: u64) -> (f64, f64) {
         let sim = Simulation::new(cluster, jobs, config);
         let out = match kind {
             Kind::Hadar => sim.run(HadarScheduler::new(HadarConfig::default())),
-            Kind::Gavel => sim.run(GavelScheduler::new(GavelConfig {
-                // Fig. 7 measures Gavel's exact LP, never the greedy
-                // fallback.
-                exact_lp_max_jobs: usize::MAX,
-                ..GavelConfig::default()
-            })),
+            // Gavel's LP is exact at every scale since the sparse revised
+            // simplex replaced the dense tableau (no greedy fallback).
+            Kind::Gavel => sim.run(GavelScheduler::new(GavelConfig::default())),
         };
         out.rounds[0].decision_seconds
     };

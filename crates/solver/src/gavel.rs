@@ -18,8 +18,19 @@
 //! * [`max_min_allocation`] — maximize the minimum over jobs of the
 //!   *normalized* throughput `Σ_r Y[j][r]·X_j^r / max_r X_j^r`
 //!   (Gavel's LAS/fairness policy).
+//!
+//! Both are solved with the sparse revised simplex (`crate::revised`) and
+//! support **cross-round warm-starting**: the `_warm` variants thread a
+//! [`GavelBasisCache`] that remembers which columns were basic at the last
+//! optimum *by job identity*, so after an arrival or completion the basis
+//! is remapped onto the new problem and re-optimized in a handful of
+//! pivots instead of a full two-phase resolve.
 
-use crate::simplex::{LpOutcome, LpProblem, Relation};
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::revised::Basis;
+use crate::simplex::{LpProblem, Relation};
 
 /// Input to a Gavel LP: one row per job, one column per GPU type.
 #[derive(Debug, Clone)]
@@ -33,26 +44,297 @@ pub struct GavelLpInput {
     pub capacity: Vec<u32>,
 }
 
-impl GavelLpInput {
-    fn validate(&self) -> (usize, usize) {
-        let j = self.throughput.len();
-        assert_eq!(self.gang.len(), j, "gang length mismatch");
-        let r = self.capacity.len();
-        for row in &self.throughput {
-            assert_eq!(row.len(), r, "throughput row length mismatch");
+/// Why a Gavel LP could not be built or solved. Returned instead of
+/// aborting, so a malformed instance fails one scheduling decision rather
+/// than a whole sweep cell.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GavelLpError {
+    /// `gang` has a different length than `throughput`.
+    GangLengthMismatch {
+        /// Number of throughput rows (jobs).
+        jobs: usize,
+        /// Length of the gang vector.
+        gang_len: usize,
+    },
+    /// A throughput row disagrees with `capacity.len()`.
+    ThroughputRowMismatch {
+        /// Offending row index.
+        row: usize,
+        /// Its length.
+        len: usize,
+        /// Expected length (number of GPU types).
+        expected: usize,
+    },
+    /// A throughput entry is NaN or infinite.
+    NonFiniteThroughput {
+        /// Row (job) index.
+        row: usize,
+        /// Column (GPU type) index.
+        col: usize,
+    },
+    /// The job-key list passed to a `_warm` variant has the wrong length.
+    JobKeyLengthMismatch {
+        /// Number of jobs in the input.
+        jobs: usize,
+        /// Number of keys supplied.
+        keys: usize,
+    },
+    /// The LP solver did not return an optimum (cannot happen for
+    /// well-formed inputs: `Y = 0` is feasible and the region is bounded).
+    SolverFailed(&'static str),
+}
+
+impl fmt::Display for GavelLpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GavelLpError::GangLengthMismatch { jobs, gang_len } => {
+                write!(f, "gang length {gang_len} != {jobs} throughput rows")
+            }
+            GavelLpError::ThroughputRowMismatch { row, len, expected } => {
+                write!(
+                    f,
+                    "throughput row {row} has length {len}, expected {expected}"
+                )
+            }
+            GavelLpError::NonFiniteThroughput { row, col } => {
+                write!(f, "throughput[{row}][{col}] is not finite")
+            }
+            GavelLpError::JobKeyLengthMismatch { jobs, keys } => {
+                write!(f, "{keys} job keys supplied for {jobs} jobs")
+            }
+            GavelLpError::SolverFailed(what) => write!(f, "LP solver failed: {what}"),
         }
-        (j, r)
+    }
+}
+
+impl std::error::Error for GavelLpError {}
+
+impl GavelLpInput {
+    /// Check shape and finiteness; returns `(num_jobs, num_types)`.
+    pub fn validate(&self) -> Result<(usize, usize), GavelLpError> {
+        let j = self.throughput.len();
+        if self.gang.len() != j {
+            return Err(GavelLpError::GangLengthMismatch {
+                jobs: j,
+                gang_len: self.gang.len(),
+            });
+        }
+        let r = self.capacity.len();
+        for (row, t) in self.throughput.iter().enumerate() {
+            if t.len() != r {
+                return Err(GavelLpError::ThroughputRowMismatch {
+                    row,
+                    len: t.len(),
+                    expected: r,
+                });
+            }
+            if let Some(col) = t.iter().position(|x| !x.is_finite()) {
+                return Err(GavelLpError::NonFiniteThroughput { row, col });
+            }
+        }
+        Ok((j, r))
+    }
+}
+
+/// Which policy LP a cached basis belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CachePolicy {
+    TotalThroughput,
+    MaxMin,
+}
+
+/// A basic column of a Gavel LP, identified structurally so it survives
+/// job arrivals/completions (which renumber rows and variables).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Label {
+    /// Allocation variable `Y[job][r]`.
+    Y { job: u64, r: usize },
+    /// Slack of the per-job time budget `Σ_r Y[j][r] ≤ 1`.
+    JobSlack { job: u64 },
+    /// Slack of the per-type capacity row.
+    CapSlack { r: usize },
+    /// The max-min objective variable `z`.
+    Z,
+    /// Surplus of a job's normalized-throughput row (max-min LP only).
+    MinSurplus { job: u64 },
+}
+
+/// Optimal-basis memory for one Gavel policy, keyed by job identity.
+///
+/// Thread it through consecutive [`max_total_throughput_allocation_warm`]
+/// (or [`max_min_allocation_warm`]) calls: columns belonging to departed
+/// jobs are dropped on remap, new jobs start from their slack columns, and
+/// the solver repairs any residual infeasibility. A cache built for one
+/// policy is ignored by the other.
+#[derive(Debug, Clone)]
+pub struct GavelBasisCache {
+    policy: CachePolicy,
+    labels: Vec<Label>,
+}
+
+impl GavelBasisCache {
+    /// Number of remembered basic columns (diagnostic).
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+}
+
+/// Column/row layout of one concrete Gavel LP instance, used to translate
+/// between standard-form column ids and job-identity labels.
+struct Layout<'k> {
+    keys: &'k [u64],
+    num_types: usize,
+    /// Variable-id offset of `Y[0][0]` (1 for max-min, 0 otherwise).
+    y_off: usize,
+    /// Total structural variables.
+    n: usize,
+    /// Eligible jobs (max-min Ge rows), as indices into `keys`; empty for
+    /// the total-throughput LP.
+    eligible: Vec<usize>,
+}
+
+impl<'k> Layout<'k> {
+    fn num_jobs(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Row index of job `j`'s time-budget constraint.
+    fn job_row(&self, j: usize) -> usize {
+        self.eligible.len() + j
+    }
+
+    /// Row index of type `r`'s capacity constraint.
+    fn cap_row(&self, r: usize) -> usize {
+        self.eligible.len() + self.num_jobs() + r
+    }
+
+    fn num_rows(&self) -> usize {
+        self.eligible.len() + self.num_jobs() + self.num_types
+    }
+
+    /// Map a cached label onto this instance's standard-form column ids;
+    /// `None` for labels that no longer exist (departed job, shrunk types).
+    fn col_of(
+        &self,
+        label: Label,
+        job_index: &HashMap<u64, usize>,
+        eligible_pos: &HashMap<u64, usize>,
+    ) -> Option<usize> {
+        match label {
+            Label::Y { job, r } => {
+                let &j = job_index.get(&job)?;
+                (r < self.num_types).then(|| self.y_off + j * self.num_types + r)
+            }
+            Label::JobSlack { job } => {
+                let &j = job_index.get(&job)?;
+                Some(Basis::slack_col(self.n, self.job_row(j)))
+            }
+            Label::CapSlack { r } => {
+                (r < self.num_types).then(|| Basis::slack_col(self.n, self.cap_row(r)))
+            }
+            Label::Z => (self.y_off == 1).then_some(0),
+            Label::MinSurplus { job } => {
+                let &pos = eligible_pos.get(&job)?;
+                Some(Basis::slack_col(self.n, pos))
+            }
+        }
+    }
+
+    /// Translate an optimal basis back into labels for the next round.
+    fn labels_of(&self, basis: &Basis) -> Vec<Label> {
+        let nt = self.num_types;
+        basis
+            .columns()
+            .iter()
+            .filter_map(|&c| {
+                if c < self.n {
+                    if self.y_off == 1 && c == 0 {
+                        Some(Label::Z)
+                    } else {
+                        let v = c - self.y_off;
+                        Some(Label::Y {
+                            job: self.keys[v / nt],
+                            r: v % nt,
+                        })
+                    }
+                } else {
+                    let row = c - self.n;
+                    if row < self.eligible.len() {
+                        Some(Label::MinSurplus {
+                            job: self.keys[self.eligible[row]],
+                        })
+                    } else if row < self.eligible.len() + self.num_jobs() {
+                        Some(Label::JobSlack {
+                            job: self.keys[row - self.eligible.len()],
+                        })
+                    } else {
+                        let r = row - self.eligible.len() - self.num_jobs();
+                        (r < nt).then_some(Label::CapSlack { r })
+                    }
+                }
+            })
+            .collect()
+    }
+
+    fn to_basis(&self, cache: &GavelBasisCache) -> Basis {
+        let job_index: HashMap<u64, usize> =
+            self.keys.iter().enumerate().map(|(i, &k)| (k, i)).collect();
+        let eligible_pos: HashMap<u64, usize> = self
+            .eligible
+            .iter()
+            .enumerate()
+            .map(|(pos, &j)| (self.keys[j], pos))
+            .collect();
+        let cols = cache
+            .labels
+            .iter()
+            .filter_map(|&l| self.col_of(l, &job_index, &eligible_pos))
+            .collect();
+        Basis::from_columns(cols, self.n, self.num_rows())
     }
 }
 
 /// Solve the max-total-effective-throughput LP. Returns `Y` as a `J×R`
-/// matrix, or `None` if the LP is infeasible/unbounded (cannot happen for
-/// well-formed inputs: `Y = 0` is always feasible and the region is
-/// bounded).
-pub fn max_total_throughput_allocation(input: &GavelLpInput) -> Option<Vec<Vec<f64>>> {
-    let (num_jobs, num_types) = input.validate();
+/// matrix, or a [`GavelLpError`] on malformed input.
+pub fn max_total_throughput_allocation(
+    input: &GavelLpInput,
+) -> Result<Vec<Vec<f64>>, GavelLpError> {
+    let keys = identity_keys(input.throughput.len());
+    max_total_throughput_allocation_warm(input, &keys, None).map(|(y, _)| y)
+}
+
+/// Warm-startable variant of [`max_total_throughput_allocation`].
+///
+/// `job_keys[j]` is a stable identity for job `j` (e.g. its `JobId`),
+/// `cache` the basis from a previous call. Returns the allocation plus the
+/// refreshed cache to pass next time.
+pub fn max_total_throughput_allocation_warm(
+    input: &GavelLpInput,
+    job_keys: &[u64],
+    cache: Option<&GavelBasisCache>,
+) -> Result<(Vec<Vec<f64>>, GavelBasisCache), GavelLpError> {
+    let (num_jobs, num_types) = input.validate()?;
+    check_keys(num_jobs, job_keys)?;
+    let layout = Layout {
+        keys: job_keys,
+        num_types,
+        y_off: 0,
+        n: num_jobs * num_types,
+        eligible: Vec::new(),
+    };
     if num_jobs == 0 {
-        return Some(Vec::new());
+        return Ok((
+            Vec::new(),
+            GavelBasisCache {
+                policy: CachePolicy::TotalThroughput,
+                labels: Vec::new(),
+            },
+        ));
     }
     let var = |j: usize, r: usize| j * num_types + r;
     let mut p = LpProblem::maximize(num_jobs * num_types);
@@ -62,26 +344,64 @@ pub fn max_total_throughput_allocation(input: &GavelLpInput) -> Option<Vec<Vec<f
         }
     }
     add_feasibility_constraints(&mut p, input, var, num_jobs, num_types);
-    extract(p.solve(), num_jobs, num_types)
+    solve_with_layout(&p, &layout, cache, CachePolicy::TotalThroughput, |s| {
+        let mut y = vec![vec![0.0; num_types]; num_jobs];
+        for (j, row) in y.iter_mut().enumerate() {
+            for (r, v) in row.iter_mut().enumerate() {
+                *v = s[var(j, r)].clamp(0.0, 1.0);
+            }
+        }
+        y
+    })
 }
 
 /// Solve the max-min-normalized-throughput LP (Gavel's fairness policy).
 /// Jobs with an all-zero throughput row are excluded from the min (they can
 /// never progress) but still appear in the output with a zero row.
-pub fn max_min_allocation(input: &GavelLpInput) -> Option<Vec<Vec<f64>>> {
-    let (num_jobs, num_types) = input.validate();
+pub fn max_min_allocation(input: &GavelLpInput) -> Result<Vec<Vec<f64>>, GavelLpError> {
+    let keys = identity_keys(input.throughput.len());
+    max_min_allocation_warm(input, &keys, None).map(|(y, _)| y)
+}
+
+/// Warm-startable variant of [`max_min_allocation`]; see
+/// [`max_total_throughput_allocation_warm`] for the cache contract.
+pub fn max_min_allocation_warm(
+    input: &GavelLpInput,
+    job_keys: &[u64],
+    cache: Option<&GavelBasisCache>,
+) -> Result<(Vec<Vec<f64>>, GavelBasisCache), GavelLpError> {
+    let (num_jobs, num_types) = input.validate()?;
+    check_keys(num_jobs, job_keys)?;
     if num_jobs == 0 {
-        return Some(Vec::new());
+        return Ok((
+            Vec::new(),
+            GavelBasisCache {
+                policy: CachePolicy::MaxMin,
+                labels: Vec::new(),
+            },
+        ));
     }
+    let eligible: Vec<usize> = input
+        .throughput
+        .iter()
+        .enumerate()
+        .filter(|(_, row)| row.iter().copied().fold(0.0, f64::max) > 0.0)
+        .map(|(j, _)| j)
+        .collect();
+    let layout = Layout {
+        keys: job_keys,
+        num_types,
+        y_off: 1,
+        n: 1 + num_jobs * num_types,
+        eligible,
+    };
     // Variable 0 is z; Y[j][r] follows.
     let var = |j: usize, r: usize| 1 + j * num_types + r;
     let mut p = LpProblem::maximize(1 + num_jobs * num_types);
     p.set_objective(0, 1.0);
-    for (j, row) in input.throughput.iter().enumerate() {
+    for &j in &layout.eligible {
+        let row = &input.throughput[j];
         let norm = row.iter().copied().fold(0.0, f64::max);
-        if norm <= 0.0 {
-            continue;
-        }
         // Σ_r Y_jr · X_jr / norm − z ≥ 0.
         let mut coeffs: Vec<(usize, f64)> = row
             .iter()
@@ -92,18 +412,50 @@ pub fn max_min_allocation(input: &GavelLpInput) -> Option<Vec<Vec<f64>>> {
         p.add_constraint(coeffs, Relation::Ge, 0.0);
     }
     add_feasibility_constraints(&mut p, input, var, num_jobs, num_types);
-    match p.solve() {
-        LpOutcome::Optimal(s) => {
-            let mut y = vec![vec![0.0; num_types]; num_jobs];
-            for (j, row) in y.iter_mut().enumerate() {
-                for (r, v) in row.iter_mut().enumerate() {
-                    *v = s.x[var(j, r)].clamp(0.0, 1.0);
-                }
+    solve_with_layout(&p, &layout, cache, CachePolicy::MaxMin, |s| {
+        let mut y = vec![vec![0.0; num_types]; num_jobs];
+        for (j, row) in y.iter_mut().enumerate() {
+            for (r, v) in row.iter_mut().enumerate() {
+                *v = s[var(j, r)].clamp(0.0, 1.0);
             }
-            Some(y)
         }
-        _ => None,
+        y
+    })
+}
+
+fn identity_keys(n: usize) -> Vec<u64> {
+    (0..n as u64).collect()
+}
+
+fn check_keys(num_jobs: usize, keys: &[u64]) -> Result<(), GavelLpError> {
+    if keys.len() != num_jobs {
+        return Err(GavelLpError::JobKeyLengthMismatch {
+            jobs: num_jobs,
+            keys: keys.len(),
+        });
     }
+    Ok(())
+}
+
+fn solve_with_layout(
+    p: &LpProblem,
+    layout: &Layout<'_>,
+    cache: Option<&GavelBasisCache>,
+    policy: CachePolicy,
+    extract: impl FnOnce(&[f64]) -> Vec<Vec<f64>>,
+) -> Result<(Vec<Vec<f64>>, GavelBasisCache), GavelLpError> {
+    let warm = cache
+        .filter(|c| c.policy == policy && !c.is_empty())
+        .map(|c| layout.to_basis(c));
+    let (outcome, basis) = match warm {
+        Some(b) => p.solve_warm(&b),
+        None => p.solve_revised_with_basis(),
+    };
+    let s = outcome
+        .optimal()
+        .ok_or(GavelLpError::SolverFailed("Gavel policy LP has no optimum"))?;
+    let labels = basis.map(|b| layout.labels_of(&b)).unwrap_or_default();
+    Ok((extract(&s.x), GavelBasisCache { policy, labels }))
 }
 
 fn add_feasibility_constraints(
@@ -127,35 +479,24 @@ fn add_feasibility_constraints(
     }
 }
 
-fn extract(outcome: LpOutcome, num_jobs: usize, num_types: usize) -> Option<Vec<Vec<f64>>> {
-    let s = outcome.optimal()?;
-    let mut y = vec![vec![0.0; num_types]; num_jobs];
-    for (j, row) in y.iter_mut().enumerate() {
-        for (r, v) in row.iter_mut().enumerate() {
-            *v = s.x[j * num_types + r].clamp(0.0, 1.0);
-        }
-    }
-    Some(y)
-}
-
 /// Check `Y` against the feasibility constraints (used by tests and debug
-/// assertions). Returns the maximum violation.
+/// assertions). Returns the maximum violation. Tolerates malformed shapes
+/// (it reports violations only over rows/columns that exist).
 pub fn feasibility_violation(input: &GavelLpInput, y: &[Vec<f64>]) -> f64 {
-    let (num_jobs, num_types) = input.validate();
+    let num_types = input.capacity.len();
     let mut worst = 0.0f64;
-    for row in y.iter().take(num_jobs) {
+    for row in y {
         let s: f64 = row.iter().sum();
         worst = worst.max(s - 1.0);
         for &v in row.iter().take(num_types) {
             worst = worst.max(-v);
         }
     }
-    for (r, &cap) in input.capacity.iter().enumerate().take(num_types) {
+    for (r, &cap) in input.capacity.iter().enumerate() {
         let demand: f64 = y
             .iter()
             .zip(&input.gang)
-            .take(num_jobs)
-            .map(|(row, &g)| row[r] * g as f64)
+            .map(|(row, &g)| row.get(r).copied().unwrap_or(0.0) * g as f64)
             .sum();
         worst = worst.max(demand - cap as f64);
     }
@@ -245,8 +586,47 @@ mod tests {
             gang: vec![],
             capacity: vec![2, 2],
         };
-        assert_eq!(max_total_throughput_allocation(&input), Some(vec![]));
-        assert_eq!(max_min_allocation(&input), Some(vec![]));
+        assert_eq!(max_total_throughput_allocation(&input), Ok(vec![]));
+        assert_eq!(max_min_allocation(&input), Ok(vec![]));
+    }
+
+    #[test]
+    fn malformed_input_is_an_error_not_a_panic() {
+        let bad_gang = GavelLpInput {
+            throughput: vec![vec![1.0], vec![2.0]],
+            gang: vec![1],
+            capacity: vec![1],
+        };
+        assert_eq!(
+            max_total_throughput_allocation(&bad_gang),
+            Err(GavelLpError::GangLengthMismatch {
+                jobs: 2,
+                gang_len: 1
+            })
+        );
+        let ragged = GavelLpInput {
+            throughput: vec![vec![1.0, 2.0], vec![3.0]],
+            gang: vec![1, 1],
+            capacity: vec![2, 2],
+        };
+        assert_eq!(
+            max_min_allocation(&ragged),
+            Err(GavelLpError::ThroughputRowMismatch {
+                row: 1,
+                len: 1,
+                expected: 2
+            })
+        );
+        let nan = GavelLpInput {
+            throughput: vec![vec![1.0, f64::NAN]],
+            gang: vec![1],
+            capacity: vec![1, 1],
+        };
+        assert_eq!(
+            max_total_throughput_allocation(&nan),
+            Err(GavelLpError::NonFiniteThroughput { row: 0, col: 1 })
+        );
+        assert!(GavelLpError::SolverFailed("x").to_string().contains("x"));
     }
 
     #[test]
@@ -283,6 +663,122 @@ mod tests {
         let ymin = max_min_allocation(&input).unwrap();
         assert!(feasibility_violation(&input, &ymin) < 1e-6);
     }
+
+    /// Simulate Gavel rounds: jobs arrive and depart, the basis cache is
+    /// threaded through, and every warm solve must match a cold solve.
+    #[test]
+    fn warm_cache_tracks_job_churn() {
+        let mk = |ids: &[u64]| -> (GavelLpInput, Vec<u64>) {
+            (
+                GavelLpInput {
+                    throughput: ids
+                        .iter()
+                        .map(|&i| {
+                            vec![
+                                5.0 + (i % 7) as f64,
+                                2.0 + (i % 3) as f64,
+                                1.0 + (i % 2) as f64,
+                            ]
+                        })
+                        .collect(),
+                    gang: ids.iter().map(|&i| 1 + (i % 4) as u32).collect(),
+                    capacity: vec![4, 4, 4],
+                },
+                ids.to_vec(),
+            )
+        };
+        let rounds: Vec<Vec<u64>> = vec![
+            vec![1, 2, 3, 4, 5],
+            vec![1, 2, 3, 4, 5, 6],    // arrival
+            vec![1, 3, 4, 5, 6],       // completion
+            vec![3, 4, 5, 6, 7, 8, 9], // churn
+            vec![9],                   // mass exodus
+            vec![9, 10, 11, 12],       // refill
+        ];
+        let mut cache: Option<GavelBasisCache> = None;
+        for (round, ids) in rounds.iter().enumerate() {
+            let (input, keys) = mk(ids);
+            let (y, next) =
+                max_total_throughput_allocation_warm(&input, &keys, cache.as_ref()).unwrap();
+            let cold = max_total_throughput_allocation(&input).unwrap();
+            let obj_warm = crate::greedy::total_throughput_objective(&input, &y);
+            let obj_cold = crate::greedy::total_throughput_objective(&input, &cold);
+            assert!(feasibility_violation(&input, &y) < 1e-6, "round {round}");
+            assert!(
+                (obj_warm - obj_cold).abs() < 1e-6 * (1.0 + obj_cold.abs()),
+                "round {round}: warm {obj_warm} vs cold {obj_cold}"
+            );
+            cache = Some(next);
+        }
+    }
+
+    /// The max-min cache must survive churn too, including jobs whose
+    /// normalized-throughput row appears/disappears.
+    #[test]
+    fn warm_cache_max_min_churn() {
+        let mk = |ids: &[u64]| -> GavelLpInput {
+            GavelLpInput {
+                throughput: ids
+                    .iter()
+                    .map(|&i| {
+                        if i == 4 {
+                            vec![0.0, 0.0] // unrunnable: excluded from the min
+                        } else {
+                            vec![3.0 + (i % 5) as f64, 1.0 + (i % 2) as f64]
+                        }
+                    })
+                    .collect(),
+                gang: ids.iter().map(|_| 1).collect(),
+                capacity: vec![3, 3],
+            }
+        };
+        let rounds: Vec<Vec<u64>> = vec![
+            vec![1, 2, 3],
+            vec![1, 2, 3, 4],
+            vec![2, 3, 4, 5],
+            vec![2, 5],
+        ];
+        let mut cache: Option<GavelBasisCache> = None;
+        let floor = |input: &GavelLpInput, y: &[Vec<f64>]| -> f64 {
+            input
+                .throughput
+                .iter()
+                .enumerate()
+                .filter(|(_, row)| row.iter().copied().fold(0.0, f64::max) > 0.0)
+                .map(|(j, row)| {
+                    let norm = row.iter().copied().fold(0.0, f64::max);
+                    row.iter()
+                        .enumerate()
+                        .map(|(r, &x)| y[j][r] * x)
+                        .sum::<f64>()
+                        / norm
+                })
+                .fold(f64::INFINITY, f64::min)
+        };
+        for (round, ids) in rounds.iter().enumerate() {
+            let input = mk(ids);
+            let (y, next) = max_min_allocation_warm(&input, ids, cache.as_ref()).unwrap();
+            let cold = max_min_allocation(&input).unwrap();
+            assert!(feasibility_violation(&input, &y) < 1e-6, "round {round}");
+            assert!(
+                (floor(&input, &y) - floor(&input, &cold)).abs() < 1e-6,
+                "round {round}: warm floor {} vs cold floor {}",
+                floor(&input, &y),
+                floor(&input, &cold)
+            );
+            cache = Some(next);
+        }
+    }
+
+    #[test]
+    fn mismatched_cache_policy_is_ignored() {
+        let input = toy();
+        let keys = vec![10, 20];
+        let (_, total_cache) = max_total_throughput_allocation_warm(&input, &keys, None).unwrap();
+        // Feeding the total-throughput cache to max-min must not corrupt it.
+        let (y, _) = max_min_allocation_warm(&input, &keys, Some(&total_cache)).unwrap();
+        assert!(feasibility_violation(&input, &y) < 1e-7);
+    }
 }
 
 #[cfg(test)]
@@ -313,8 +809,8 @@ mod randomized_tests {
         for case in 0..32 {
             let input = random_instance(&mut rng, 10, 3, 0.0);
             let exact = max_total_throughput_allocation(&input)
-                .unwrap_or_else(|| panic!("case {case}: LP failed"));
-            let greedy = crate::greedy::greedy_total_throughput(&input);
+                .unwrap_or_else(|e| panic!("case {case}: LP failed: {e}"));
+            let greedy = crate::greedy::greedy_total_throughput(&input).expect("valid input");
             assert!(feasibility_violation(&input, &exact) < 1e-6, "case {case}");
             assert!(feasibility_violation(&input, &greedy) < 1e-6, "case {case}");
             let oe = crate::greedy::total_throughput_objective(&input, &exact);
@@ -363,6 +859,50 @@ mod randomized_tests {
                 floor(&fair),
                 floor(&total)
             );
+        }
+    }
+
+    /// Randomized churn: warm-started objective always matches cold.
+    #[test]
+    fn warm_matches_cold_under_random_churn() {
+        let mut rng = StdRng::seed_from_u64(0xC7);
+        let mut ids: Vec<u64> = (0..8).collect();
+        let mut next_id = 8u64;
+        let mut cache: Option<GavelBasisCache> = None;
+        for round in 0..24 {
+            // Random churn: drop up to 2, add up to 2.
+            for _ in 0..rng.gen_range_usize(0..3) {
+                if ids.len() > 1 {
+                    let k = rng.gen_range_usize(0..ids.len());
+                    ids.remove(k);
+                }
+            }
+            for _ in 0..rng.gen_range_usize(0..3) {
+                ids.push(next_id);
+                next_id += 1;
+            }
+            let input = GavelLpInput {
+                throughput: ids
+                    .iter()
+                    .map(|&i| {
+                        let mut h = StdRng::seed_from_u64(i * 977);
+                        (0..3).map(|_| h.gen_range_f64(0.5..25.0)).collect()
+                    })
+                    .collect(),
+                gang: ids.iter().map(|&i| 1 + (i % 4) as u32).collect(),
+                capacity: vec![5, 5, 5],
+            };
+            let (y, nc) =
+                max_total_throughput_allocation_warm(&input, &ids, cache.as_ref()).unwrap();
+            let cold = max_total_throughput_allocation(&input).unwrap();
+            let ow = crate::greedy::total_throughput_objective(&input, &y);
+            let oc = crate::greedy::total_throughput_objective(&input, &cold);
+            assert!(feasibility_violation(&input, &y) < 1e-6, "round {round}");
+            assert!(
+                (ow - oc).abs() < 1e-6 * (1.0 + oc.abs()),
+                "round {round}: warm {ow} vs cold {oc}"
+            );
+            cache = Some(nc);
         }
     }
 }

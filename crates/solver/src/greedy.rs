@@ -1,24 +1,25 @@
 //! Density-greedy approximation of the total-throughput transportation LP.
 //!
-//! For very large queues (the Fig. 7 scalability sweep reaches 2048 jobs)
-//! solving the exact LP every scheduling event is unnecessarily slow. The
-//! total-throughput objective has transportation structure, for which a
-//! density greedy — allocate time-shares in descending value-per-GPU order —
-//! is a strong approximation: each step is locally optimal and both
-//! constraint families are simple budgets. Tests compare it against the
-//! exact simplex optimum on random instances.
+//! Formerly the large-queue fallback for the Gavel scheduler; since the
+//! sparse revised simplex ([`crate::revised`]) with cross-round
+//! warm-starting made the exact LP cheap at every Fig. 7 scale, the greedy
+//! is kept only as an accuracy and latency yardstick. The total-throughput
+//! objective has transportation structure, for which allocating time-shares
+//! in descending value-per-GPU order is a strong approximation: each step
+//! is locally optimal and both constraint families are simple budgets.
+//! Tests compare it against the exact simplex optimum on random instances.
 
-use crate::gavel::GavelLpInput;
+use crate::gavel::{GavelLpError, GavelLpInput};
 
 /// Greedy approximation to [`crate::max_total_throughput_allocation`].
 ///
-/// Returns a feasible `Y` (never violates the job-time or capacity budgets).
-pub fn greedy_total_throughput(input: &GavelLpInput) -> Vec<Vec<f64>> {
-    let num_jobs = input.throughput.len();
-    let num_types = input.capacity.len();
+/// Returns a feasible `Y` (never violates the job-time or capacity
+/// budgets), or a [`GavelLpError`] on malformed input.
+pub fn greedy_total_throughput(input: &GavelLpInput) -> Result<Vec<Vec<f64>>, GavelLpError> {
+    let (num_jobs, num_types) = input.validate()?;
     let mut y = vec![vec![0.0f64; num_types]; num_jobs];
     if num_jobs == 0 {
-        return y;
+        return Ok(y);
     }
 
     // Candidate (j, r) pairs sorted by throughput-per-GPU density, i.e.
@@ -51,7 +52,7 @@ pub fn greedy_total_throughput(input: &GavelLpInput) -> Vec<Vec<f64>> {
             cap_left[r] -= take * w;
         }
     }
-    y
+    Ok(y)
 }
 
 /// Objective value `Σ_jr Y_jr · X_jr · W_j` of an allocation matrix.
@@ -79,7 +80,7 @@ mod tests {
             gang: vec![2, 1, 4],
             capacity: vec![2, 2],
         };
-        let y = greedy_total_throughput(&input);
+        let y = greedy_total_throughput(&input).unwrap();
         assert!(feasibility_violation(&input, &y) < 1e-9, "y={y:?}");
     }
 
@@ -91,7 +92,7 @@ mod tests {
             gang: vec![1, 1],
             capacity: vec![10, 10],
         };
-        let g = greedy_total_throughput(&input);
+        let g = greedy_total_throughput(&input).unwrap();
         let exact = max_total_throughput_allocation(&input).unwrap();
         let og = total_throughput_objective(&input, &g);
         let oe = total_throughput_objective(&input, &exact);
@@ -122,7 +123,7 @@ mod tests {
                 gang,
                 capacity,
             };
-            let g = greedy_total_throughput(&input);
+            let g = greedy_total_throughput(&input).unwrap();
             assert!(feasibility_violation(&input, &g) < 1e-7);
             let exact = max_total_throughput_allocation(&input).unwrap();
             let og = total_throughput_objective(&input, &g);
@@ -141,6 +142,6 @@ mod tests {
             gang: vec![],
             capacity: vec![3],
         };
-        assert!(greedy_total_throughput(&input).is_empty());
+        assert!(greedy_total_throughput(&input).unwrap().is_empty());
     }
 }

@@ -12,15 +12,23 @@
 //!
 //! * [`simplex`] — a dense two-phase primal simplex solver for general LPs
 //!   (`max c·x, A x {≤,=,≥} b, x ≥ 0`) with Dantzig pricing and Bland's
-//!   anti-cycling fallback,
+//!   anti-cycling fallback; retained as the reference implementation and
+//!   cross-checked against the revised solver in tests,
+//! * [`revised`] — a sparse revised simplex (eta-file basis factorization
+//!   with periodic reinversion) behind the same `LpProblem` API, plus
+//!   [`revised::Basis`] export and [`simplex::LpProblem::solve_warm`]
+//!   warm-starting; this is the production solver for every Gavel policy
+//!   solve, exact at all Fig. 7 scales,
 //! * [`gavel`] — builders for the two Gavel policy LPs used in the paper's
 //!   evaluation: *maximize total effective throughput* (the objective the
 //!   paper configures "similar to ours") and *max-min normalized throughput*
-//!   (Gavel's fairness policy),
+//!   (Gavel's fairness policy), with [`GavelBasisCache`] carrying the
+//!   optimal basis across rounds so an arrival/completion costs a handful
+//!   of pivots instead of a full two-phase resolve,
 //! * [`greedy`] — a density-greedy approximation for the total-throughput
-//!   transportation LP, used as a fast fallback when hundreds of jobs are
-//!   active (the exact LP is still used for every final-figure experiment at
-//!   moderate scale, and the greedy is validated against it in tests).
+//!   transportation LP, kept as an accuracy yardstick in tests and benches
+//!   (it is no longer used as a scheduling fallback: the revised simplex
+//!   stays exact at every scale).
 
 //!
 //! ```
@@ -37,8 +45,13 @@
 
 pub mod gavel;
 pub mod greedy;
+pub mod revised;
 pub mod simplex;
 
-pub use gavel::{max_min_allocation, max_total_throughput_allocation, GavelLpInput};
+pub use gavel::{
+    max_min_allocation, max_min_allocation_warm, max_total_throughput_allocation,
+    max_total_throughput_allocation_warm, GavelBasisCache, GavelLpError, GavelLpInput,
+};
 pub use greedy::greedy_total_throughput;
+pub use revised::Basis;
 pub use simplex::{Constraint, LpOutcome, LpProblem, LpSolution, Relation};

@@ -129,6 +129,16 @@ impl LpProblem {
     pub fn solve(&self) -> LpOutcome {
         Tableau::build(self).solve()
     }
+
+    /// The constraint rows (shared with the revised solver).
+    pub(crate) fn constraint_rows(&self) -> &[Constraint] {
+        &self.constraints
+    }
+
+    /// The objective coefficients (shared with the revised solver).
+    pub(crate) fn objective_coeffs(&self) -> &[f64] {
+        &self.objective
+    }
 }
 
 /// Internal dense tableau.
@@ -489,6 +499,39 @@ mod tests {
         // Known optimum of (a variant of) Beale's example family: finite.
         assert!(s.objective.is_finite());
         assert!(s.objective >= -1e-9);
+    }
+
+    #[test]
+    fn beale_degenerate_example_terminates() {
+        // Beale's classic cycling LP: max ¾x₁ − 150x₂ + 1/50·x₃ − 6x₄ s.t.
+        // ¼x₁ − 60x₂ − 1/25·x₃ + 9x₄ ≤ 0, ½x₁ − 90x₂ − 1/50·x₃ + 3x₄ ≤ 0,
+        // x₃ ≤ 1. Pure Dantzig pricing cycles forever at the degenerate
+        // origin; the Bland fallback must terminate at z = 1/20,
+        // x = (1/25, 0, 1, 0).
+        let mut p = LpProblem::maximize(4);
+        p.set_objective(0, 0.75)
+            .set_objective(1, -150.0)
+            .set_objective(2, 0.02)
+            .set_objective(3, -6.0);
+        p.add_constraint(
+            vec![(0, 0.25), (1, -60.0), (2, -0.04), (3, 9.0)],
+            Relation::Le,
+            0.0,
+        );
+        p.add_constraint(
+            vec![(0, 0.5), (1, -90.0), (2, -0.02), (3, 3.0)],
+            Relation::Le,
+            0.0,
+        );
+        p.add_constraint(vec![(2, 1.0)], Relation::Le, 1.0);
+        let s = solve(&p);
+        assert!(
+            (s.objective - 0.05).abs() < 1e-7,
+            "objective {}",
+            s.objective
+        );
+        assert!((s.x[0] - 0.04).abs() < 1e-6);
+        assert!((s.x[2] - 1.0).abs() < 1e-6);
     }
 
     #[test]

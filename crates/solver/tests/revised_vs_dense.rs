@@ -1,0 +1,212 @@
+//! Property tests: the sparse revised simplex must agree with the dense
+//! two-phase tableau on every random LP — same outcome classification
+//! (optimal / infeasible / unbounded) and, when optimal, the same objective
+//! to 1e-6 — and a warm-started solve from a perturbed problem must match a
+//! cold solve.
+//!
+//! Coefficients are drawn from a half-integer grid so that infeasibility
+//! and unboundedness are decided robustly rather than at tolerance
+//! knife-edges; degeneracy is forced by zero right-hand sides.
+
+use hadar_rng::{Rng, StdRng};
+use hadar_solver::{LpOutcome, LpProblem, Relation};
+
+/// Random LP from a half-integer grid: up to 8 vars, up to 8 rows, mixed
+/// relations. `degenerate` zeroes a fraction of the right-hand sides.
+fn random_lp(rng: &mut StdRng, degenerate: bool) -> LpProblem {
+    let n = rng.gen_range_usize(1..9);
+    let m = rng.gen_range_usize(1..9);
+    let half = |rng: &mut StdRng| (rng.gen_range_usize(0..13) as f64 - 6.0) / 2.0;
+    let mut p = LpProblem::maximize(n);
+    for j in 0..n {
+        p.set_objective(j, half(rng));
+    }
+    for _ in 0..m {
+        let mut coeffs: Vec<(usize, f64)> = Vec::new();
+        for j in 0..n {
+            // ~60% fill keeps the instances sparse-ish.
+            if rng.gen_range_usize(0..10) < 6 {
+                coeffs.push((j, half(rng)));
+            }
+        }
+        let relation = match rng.gen_range_usize(0..10) {
+            0..=6 => Relation::Le, // mostly ≤, like the Gavel LPs
+            7..=8 => Relation::Ge,
+            _ => Relation::Eq,
+        };
+        let rhs = if degenerate && rng.gen_range_usize(0..2) == 0 {
+            0.0
+        } else {
+            // Mostly non-negative: ≤ rows with rhs ≥ 0 keep the origin
+            // feasible, so a healthy share of instances is optimal.
+            let v = half(rng).abs() * 2.0;
+            if rng.gen_range_usize(0..4) == 0 {
+                -v
+            } else {
+                v
+            }
+        };
+        p.add_constraint(coeffs, relation, rhs);
+    }
+    // Half the instances get a bounding box so the optimal class is well
+    // represented alongside infeasible/unbounded ones.
+    if rng.gen_range_usize(0..2) == 0 {
+        let box_rhs = rng.gen_range_usize(1..20) as f64;
+        p.add_constraint((0..n).map(|j| (j, 1.0)).collect(), Relation::Le, box_rhs);
+    }
+    p
+}
+
+fn classify(o: &LpOutcome) -> &'static str {
+    match o {
+        LpOutcome::Optimal(_) => "optimal",
+        LpOutcome::Infeasible => "infeasible",
+        LpOutcome::Unbounded => "unbounded",
+    }
+}
+
+/// 200 random LPs spanning feasible, infeasible, unbounded, and degenerate
+/// instances: classification and optimal objective must agree between the
+/// two solvers.
+#[test]
+fn revised_matches_dense_on_200_random_lps() {
+    let mut rng = StdRng::seed_from_u64(0x5EED_CAFE);
+    let mut seen = std::collections::HashMap::<&'static str, usize>::new();
+    for case in 0..200 {
+        let p = random_lp(&mut rng, case % 3 == 0);
+        let dense = p.solve();
+        let revised = p.solve_revised();
+        *seen.entry(classify(&dense)).or_default() += 1;
+        assert_eq!(
+            classify(&dense),
+            classify(&revised),
+            "case {case}: dense {dense:?} vs revised {revised:?}"
+        );
+        if let (LpOutcome::Optimal(d), LpOutcome::Optimal(r)) = (&dense, &revised) {
+            assert!(
+                (d.objective - r.objective).abs() < 1e-6 * (1.0 + d.objective.abs()),
+                "case {case}: dense obj {} vs revised obj {}",
+                d.objective,
+                r.objective
+            );
+        }
+    }
+    // The generator must actually exercise all three outcome classes.
+    assert!(seen.get("optimal").copied().unwrap_or(0) > 40, "{seen:?}");
+    assert!(
+        seen.get("infeasible").copied().unwrap_or(0) > 10,
+        "{seen:?}"
+    );
+    assert!(seen.get("unbounded").copied().unwrap_or(0) > 10, "{seen:?}");
+}
+
+/// Bounded feasible LPs (box + extra ≤ rows): export the optimal basis,
+/// perturb the objective and right-hand sides, and check the warm-started
+/// solve matches a cold solve of the perturbed problem.
+#[test]
+fn warm_start_matches_cold_on_perturbed_lps() {
+    let mut rng = StdRng::seed_from_u64(0xBA5E_11F7);
+    for case in 0..100 {
+        let n = rng.gen_range_usize(1..7);
+        let m_extra = rng.gen_range_usize(0..5);
+        let build = |c: &[f64], caps: &[f64], rows: &[(Vec<(usize, f64)>, f64)]| {
+            let mut p = LpProblem::maximize(n);
+            for (j, &cj) in c.iter().enumerate() {
+                p.set_objective(j, cj);
+            }
+            for (j, &u) in caps.iter().enumerate() {
+                p.add_constraint(vec![(j, 1.0)], Relation::Le, u);
+            }
+            for (coeffs, rhs) in rows {
+                p.add_constraint(coeffs.clone(), Relation::Le, *rhs);
+            }
+            p
+        };
+        let c: Vec<f64> = (0..n).map(|_| rng.gen_range_f64(-4.0..6.0)).collect();
+        let caps: Vec<f64> = (0..n).map(|_| rng.gen_range_f64(0.5..8.0)).collect();
+        let rows: Vec<(Vec<(usize, f64)>, f64)> = (0..m_extra)
+            .map(|_| {
+                (
+                    (0..n).map(|j| (j, rng.gen_range_f64(0.0..3.0))).collect(),
+                    rng.gen_range_f64(1.0..12.0),
+                )
+            })
+            .collect();
+
+        let (out, basis) = build(&c, &caps, &rows).solve_revised_with_basis();
+        let basis = basis.unwrap_or_else(|| panic!("case {case}: {out:?} has no basis"));
+
+        // Perturb: jitter the objective, tighten/loosen every bound.
+        let c2: Vec<f64> = c
+            .iter()
+            .map(|&v| v + rng.gen_range_f64(-1.0..1.0))
+            .collect();
+        let caps2: Vec<f64> = caps
+            .iter()
+            .map(|&v| (v + rng.gen_range_f64(-1.0..1.0)).max(0.1))
+            .collect();
+        let rows2: Vec<(Vec<(usize, f64)>, f64)> = rows
+            .iter()
+            .map(|(co, rhs)| (co.clone(), (rhs + rng.gen_range_f64(-2.0..2.0)).max(0.1)))
+            .collect();
+        let perturbed = build(&c2, &caps2, &rows2);
+        let cold = perturbed
+            .solve_revised()
+            .optimal()
+            .unwrap_or_else(|| panic!("case {case}: perturbed not optimal"))
+            .objective;
+        let (warm_out, warm_basis) = perturbed.solve_warm(&basis);
+        let warm = warm_out
+            .optimal()
+            .unwrap_or_else(|| panic!("case {case}: warm solve not optimal"))
+            .objective;
+        assert!(
+            (warm - cold).abs() < 1e-6 * (1.0 + cold.abs()),
+            "case {case}: warm {warm} vs cold {cold}"
+        );
+        assert!(
+            warm_basis.is_some(),
+            "case {case}: no basis after warm solve"
+        );
+    }
+}
+
+/// The dense solver is the reference; a feasible revised optimum must also
+/// satisfy the constraints it was solved under (primal feasibility check
+/// independent of the dense solver).
+#[test]
+fn revised_solutions_are_primal_feasible() {
+    let mut rng = StdRng::seed_from_u64(0xFEA5_1B1E);
+    for case in 0..50 {
+        let n = rng.gen_range_usize(1..6);
+        let mut p = LpProblem::maximize(n);
+        let mut rows: Vec<(Vec<f64>, f64)> = Vec::new();
+        for j in 0..n {
+            p.set_objective(j, rng.gen_range_f64(0.0..5.0));
+        }
+        for _ in 0..rng.gen_range_usize(1..6) {
+            let coeffs: Vec<f64> = (0..n).map(|_| rng.gen_range_f64(0.0..4.0)).collect();
+            let rhs = rng.gen_range_f64(0.5..20.0);
+            p.add_constraint(
+                coeffs.iter().enumerate().map(|(j, &a)| (j, a)).collect(),
+                Relation::Le,
+                rhs,
+            );
+            rows.push((coeffs, rhs));
+        }
+        // Bounding box guarantees an optimum exists.
+        p.add_constraint((0..n).map(|j| (j, 1.0)).collect(), Relation::Le, 50.0);
+        rows.push((vec![1.0; n], 50.0));
+        let s = match p.solve_revised() {
+            LpOutcome::Optimal(s) => s,
+            other => panic!("case {case}: not optimal: {other:?}"),
+        };
+        for (coeffs, rhs) in &rows {
+            let lhs: f64 = coeffs.iter().zip(&s.x).map(|(a, x)| a * x).sum();
+            assert!(lhs <= rhs + 1e-6, "case {case}: {lhs} > {rhs}");
+        }
+        for &x in &s.x {
+            assert!(x >= -1e-9, "case {case}: negative x {x}");
+        }
+    }
+}
