@@ -26,7 +26,7 @@
 use std::collections::HashMap;
 
 use hadar_cluster::{Allocation, GpuTypeId, JobId, JobPlacement, PlacementSlice, Usage};
-use hadar_sim::{JobState, Scheduler, SchedulerContext};
+use hadar_sim::{Scheduler, SchedulerContext};
 use hadar_solver::{
     max_min_allocation_warm, max_total_throughput_allocation_warm, GavelBasisCache, GavelLpError,
     GavelLpInput,
@@ -105,13 +105,15 @@ impl GavelScheduler {
         self.last_lp_error.as_ref()
     }
 
-    fn job_set_fingerprint(jobs: &[JobState]) -> u64 {
+    fn job_set_fingerprint(ctx: &SchedulerContext<'_>) -> u64 {
         let mut h: u64 = 0xcbf29ce484222325;
-        for s in jobs {
+        for s in ctx.jobs {
             h ^= u64::from(s.job.id.0) + 1;
             h = h.wrapping_mul(0x100000001b3);
         }
-        h
+        // Fold in the availability mask so a machine failure or recovery
+        // re-solves the LP against the shrunken (or restored) capacity.
+        h ^ ctx.availability.fingerprint()
     }
 
     fn solve(&mut self, ctx: &SchedulerContext<'_>) {
@@ -128,7 +130,10 @@ impl GavelScheduler {
                 .collect(),
             gang: ctx.jobs.iter().map(|s| s.job.gang).collect(),
             capacity: (0..num_types)
-                .map(|r| ctx.cluster.total_of_type(GpuTypeId(r as u16)))
+                .map(|r| {
+                    ctx.availability
+                        .available_of_type(ctx.cluster, GpuTypeId(r as u16))
+                })
                 .collect(),
         };
         let keys: Vec<u64> = ctx.jobs.iter().map(|s| u64::from(s.job.id.0)).collect();
@@ -172,6 +177,7 @@ impl GavelScheduler {
         let mut machines: Vec<(u32, hadar_cluster::MachineId)> = ctx
             .cluster
             .machine_ids()
+            .filter(|&h| ctx.availability.is_up(h))
             .filter_map(|h| {
                 let f = usage.free(ctx.cluster, h, r);
                 (f > 0).then_some((f, h))
@@ -205,7 +211,7 @@ impl Scheduler for GavelScheduler {
         if ctx.jobs.is_empty() {
             return Allocation::empty();
         }
-        let fp = Self::job_set_fingerprint(ctx.jobs);
+        let fp = Self::job_set_fingerprint(ctx);
         if fp != self.cached_set || self.y.is_empty() {
             self.solve(ctx);
             self.cached_set = fp;
@@ -286,7 +292,8 @@ mod tests {
             cluster.catalog(),
         );
         let out = Simulation::new(cluster, jobs, SimConfig::default())
-            .run(GavelScheduler::paper_default());
+            .run(GavelScheduler::paper_default())
+            .unwrap();
         assert_eq!(out.completed_jobs(), 12);
         assert!(!out.timed_out);
     }
@@ -331,7 +338,9 @@ mod tests {
             inner: GavelScheduler::paper_default(),
             violations: 0,
         };
-        let out = Simulation::new(cluster, jobs, SimConfig::default()).run(&mut probe);
+        let out = Simulation::new(cluster, jobs, SimConfig::default())
+            .run(&mut probe)
+            .unwrap();
         assert_eq!(out.completed_jobs(), 10);
         assert_eq!(probe.violations, 0, "Gavel must never mix GPU types");
     }
@@ -347,12 +356,12 @@ mod tests {
             },
             cluster.catalog(),
         );
-        let out = Simulation::new(cluster, jobs, SimConfig::default()).run(GavelScheduler::new(
-            GavelConfig {
+        let out = Simulation::new(cluster, jobs, SimConfig::default())
+            .run(GavelScheduler::new(GavelConfig {
                 policy: GavelPolicy::MaxMinFairness,
                 ..GavelConfig::default()
-            },
-        ));
+            }))
+            .unwrap();
         assert_eq!(out.completed_jobs(), 8);
     }
 
@@ -375,10 +384,40 @@ mod tests {
                 ..GavelConfig::default()
             });
             let out = Simulation::new(cluster.clone(), jobs.clone(), SimConfig::default())
-                .run(&mut sched);
+                .run(&mut sched)
+                .unwrap();
             assert_eq!(out.completed_jobs(), 10, "warm_start={warm_start}");
             assert!(sched.last_lp_error().is_none());
         }
+    }
+
+    #[test]
+    fn completes_with_machine_failures() {
+        // Failures shrink the LP capacity and the placement pool; jobs on a
+        // dying machine are evicted and must still finish eventually.
+        let cluster = Cluster::paper_simulation();
+        let jobs = generate_trace(
+            &TraceConfig {
+                num_jobs: 8,
+                seed: 6,
+                pattern: ArrivalPattern::Static,
+            },
+            cluster.catalog(),
+        );
+        let n = jobs.len();
+        let config = SimConfig {
+            failure: Some(hadar_sim::FailureModel {
+                mtbf_rounds: 20.0,
+                mttr_rounds: 3.0,
+                seed: 11,
+            }),
+            ..SimConfig::default()
+        };
+        let out = Simulation::new(cluster, jobs, config)
+            .run(GavelScheduler::paper_default())
+            .unwrap();
+        assert_eq!(out.completed_jobs(), n);
+        hadar_sim::check_lifecycle(out.events(), n).unwrap();
     }
 
     #[test]
@@ -395,6 +434,7 @@ mod tests {
         let run = || {
             Simulation::new(cluster.clone(), jobs.clone(), SimConfig::default())
                 .run(GavelScheduler::paper_default())
+                .unwrap()
         };
         assert_eq!(run().jcts(), run().jcts());
     }

@@ -35,7 +35,8 @@
 //!     cluster.catalog(),
 //! );
 //! let out = Simulation::new(cluster, jobs, SimConfig::default())
-//!     .run(TiresiasScheduler::paper_default());
+//!     .run(TiresiasScheduler::paper_default())
+//!     .expect("valid policy and config");
 //! assert_eq!(out.completed_jobs(), 5);
 //! ```
 

@@ -28,24 +28,34 @@ impl SrtfScheduler {
     /// (most-free machines first), keeping the current placement when still
     /// free and still on the job's fastest feasible type.
     fn place(ctx: &SchedulerContext<'_>, usage: &Usage, s: &JobState) -> Option<JobPlacement> {
+        // Free GPUs of a type, counting only machines that are up — a
+        // type-level count over dead machines would admit a gang the
+        // machine loop below can never actually place.
+        let masked_free = |r| -> u32 {
+            ctx.cluster
+                .machine_ids()
+                .filter(|&h| ctx.is_up(h))
+                .map(|h| usage.free(ctx.cluster, h, r))
+                .sum()
+        };
         for &r in s.job.profile.types_by_preference() {
-            if usage.free_of_type(ctx.cluster, r) < s.job.gang {
+            if masked_free(r) < s.job.gang {
                 continue;
             }
             // Sticky shortcut: if the current placement is exactly this
-            // type and still free, keep it.
+            // type, still free, and on live machines, keep it.
             if !s.placement.is_empty()
                 && s.placement.gpu_types() == [r]
-                && s.placement
-                    .slices()
-                    .iter()
-                    .all(|sl| usage.free(ctx.cluster, sl.machine, sl.gpu) >= sl.count)
+                && s.placement.slices().iter().all(|sl| {
+                    ctx.is_up(sl.machine) && usage.free(ctx.cluster, sl.machine, sl.gpu) >= sl.count
+                })
             {
                 return Some(s.placement.clone());
             }
             let mut machines: Vec<(u32, hadar_cluster::MachineId)> = ctx
                 .cluster
                 .machine_ids()
+                .filter(|&h| ctx.is_up(h))
                 .filter_map(|h| {
                     let f = usage.free(ctx.cluster, h, r);
                     (f > 0).then_some((f, h))
@@ -128,7 +138,9 @@ mod tests {
             },
             cluster.catalog(),
         );
-        let out = Simulation::new(cluster, jobs, SimConfig::default()).run(SrtfScheduler::new());
+        let out = Simulation::new(cluster, jobs, SimConfig::default())
+            .run(SrtfScheduler::new())
+            .unwrap();
         assert_eq!(out.completed_jobs(), 16);
         assert!(!out.timed_out);
     }
@@ -144,7 +156,8 @@ mod tests {
         let long = Job::for_model(JobId(0), DlTask::ResNet18, cluster.catalog(), 0.0, 2, 500);
         let short = Job::for_model(JobId(1), DlTask::ResNet18, cluster.catalog(), 0.0, 2, 10);
         let out = Simulation::new(cluster, vec![long, short], SimConfig::default())
-            .run(SrtfScheduler::new());
+            .run(SrtfScheduler::new())
+            .unwrap();
         let (s0, s1) = (
             out.records[0].first_scheduled.unwrap(),
             out.records[1].first_scheduled.unwrap(),
@@ -157,14 +170,42 @@ mod tests {
         let cluster = Cluster::paper_simulation();
         let job = Job::for_model(JobId(0), DlTask::ResNet50, cluster.catalog(), 0.0, 4, 5);
         let v100_time = job.min_runtime();
-        let out =
-            Simulation::new(cluster, vec![job], SimConfig::default()).run(SrtfScheduler::new());
+        let out = Simulation::new(cluster, vec![job], SimConfig::default())
+            .run(SrtfScheduler::new())
+            .unwrap();
         let jct = out.records[0].jct().unwrap();
         // Ran on V100s (plus one checkpoint stall): far faster than P100/K80.
         assert!(
             jct < v100_time + 360.0 + 15.0,
             "jct={jct}, v100={v100_time}"
         );
+    }
+
+    #[test]
+    fn completes_with_machine_failures() {
+        let cluster = Cluster::paper_simulation();
+        let jobs = generate_trace(
+            &TraceConfig {
+                num_jobs: 8,
+                seed: 10,
+                pattern: ArrivalPattern::Static,
+            },
+            cluster.catalog(),
+        );
+        let n = jobs.len();
+        let config = SimConfig {
+            failure: Some(hadar_sim::FailureModel {
+                mtbf_rounds: 20.0,
+                mttr_rounds: 3.0,
+                seed: 11,
+            }),
+            ..SimConfig::default()
+        };
+        let out = Simulation::new(cluster, jobs, config)
+            .run(SrtfScheduler::new())
+            .unwrap();
+        assert_eq!(out.completed_jobs(), n);
+        hadar_sim::check_lifecycle(out.events(), n).unwrap();
     }
 
     #[test]
@@ -181,7 +222,9 @@ mod tests {
             max_rounds: 10,
             ..SimConfig::default()
         };
-        let out = Simulation::new(cluster, vec![job], config).run(SrtfScheduler::new());
+        let out = Simulation::new(cluster, vec![job], config)
+            .run(SrtfScheduler::new())
+            .unwrap();
         assert!(out.timed_out);
         assert_eq!(out.completed_jobs(), 0);
     }

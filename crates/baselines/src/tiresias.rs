@@ -92,12 +92,12 @@ impl TiresiasScheduler {
         usage: &Usage,
         s: &JobState,
     ) -> Option<JobPlacement> {
-        // Sticky: reuse the previous placement when still free.
+        // Sticky: reuse the previous placement when still free (and its
+        // machines are still alive).
         if !s.placement.is_empty()
-            && s.placement
-                .slices()
-                .iter()
-                .all(|sl| usage.free(ctx.cluster, sl.machine, sl.gpu) >= sl.count)
+            && s.placement.slices().iter().all(|sl| {
+                ctx.is_up(sl.machine) && usage.free(ctx.cluster, sl.machine, sl.gpu) >= sl.count
+            })
         {
             return Some(s.placement.clone());
         }
@@ -131,18 +131,27 @@ impl TiresiasScheduler {
         usage: &Usage,
         s: &JobState,
     ) -> Option<JobPlacement> {
+        // Free GPUs of a type, counting only machines that are up.
+        let masked_free = |r| -> u32 {
+            ctx.cluster
+                .machine_ids()
+                .filter(|&h| ctx.is_up(h))
+                .map(|h| usage.free(ctx.cluster, h, r))
+                .sum()
+        };
         let r = ctx
             .cluster
             .catalog()
             .ids()
             .filter(|&r| s.job.profile.rate(r) > 0.0)
-            .map(|r| (usage.free_of_type(ctx.cluster, r), r))
+            .map(|r| (masked_free(r), r))
             .filter(|&(free, _)| free >= s.job.gang)
             .max_by_key(|&(free, r)| (free, std::cmp::Reverse(r)))?
             .1;
         let mut machines: Vec<(u32, hadar_cluster::MachineId)> = ctx
             .cluster
             .machine_ids()
+            .filter(|&h| ctx.is_up(h))
             .filter_map(|h| {
                 let free = usage.free(ctx.cluster, h, r);
                 (free > 0).then_some((free, h))
@@ -175,6 +184,7 @@ impl TiresiasScheduler {
         let mut machines: Vec<(u32, hadar_cluster::MachineId)> = ctx
             .cluster
             .machine_ids()
+            .filter(|&h| ctx.is_up(h))
             .filter_map(|h| {
                 let free = usage.free_on_machine(ctx.cluster, h);
                 (free > 0).then_some((free, h))
@@ -281,7 +291,8 @@ mod tests {
             cluster.catalog(),
         );
         let out = Simulation::new(cluster, jobs, SimConfig::default())
-            .run(TiresiasScheduler::paper_default());
+            .run(TiresiasScheduler::paper_default())
+            .unwrap();
         assert_eq!(out.completed_jobs(), 12);
         assert!(!out.timed_out);
     }
@@ -308,7 +319,8 @@ mod tests {
         );
         let short_solo = short.min_runtime();
         let out = Simulation::new(cluster, vec![long, short], SimConfig::default())
-            .run(TiresiasScheduler::paper_default());
+            .run(TiresiasScheduler::paper_default())
+            .unwrap();
         assert_eq!(out.completed_jobs(), 2);
         let short_jct = out.records[1].jct().unwrap();
         // The short job should run promptly after arrival, not wait for the
@@ -345,11 +357,39 @@ mod tests {
         let job = Job::for_model(JobId(0), DlTask::ResNet18, cluster.catalog(), 0.0, 2, 50);
         let k80_paced = job.total_iterations() / (2.0 * job.profile.rate(k80));
         let out = Simulation::new(cluster, vec![job], SimConfig::default())
-            .run(TiresiasScheduler::paper_default());
+            .run(TiresiasScheduler::paper_default())
+            .unwrap();
         let jct = out.records[0].jct().unwrap();
         // Bottlenecked by the K80 (plus checkpoint + comm degradation), far
         // slower than if it were V100-only.
         assert!(jct >= k80_paced, "jct={jct} vs k80 pace {k80_paced}");
+    }
+
+    #[test]
+    fn completes_with_machine_failures() {
+        let cluster = Cluster::paper_simulation();
+        let jobs = generate_trace(
+            &TraceConfig {
+                num_jobs: 8,
+                seed: 8,
+                pattern: ArrivalPattern::Static,
+            },
+            cluster.catalog(),
+        );
+        let n = jobs.len();
+        let config = SimConfig {
+            failure: Some(hadar_sim::FailureModel {
+                mtbf_rounds: 20.0,
+                mttr_rounds: 3.0,
+                seed: 11,
+            }),
+            ..SimConfig::default()
+        };
+        let out = Simulation::new(cluster, jobs, config)
+            .run(TiresiasScheduler::paper_default())
+            .unwrap();
+        assert_eq!(out.completed_jobs(), n);
+        hadar_sim::check_lifecycle(out.events(), n).unwrap();
     }
 
     #[test]
@@ -366,6 +406,7 @@ mod tests {
         let run = || {
             Simulation::new(cluster.clone(), jobs.clone(), SimConfig::default())
                 .run(TiresiasScheduler::paper_default())
+                .unwrap()
         };
         assert_eq!(run().jcts(), run().jcts());
     }

@@ -35,6 +35,7 @@ impl YarnCsScheduler {
         let mut machines: Vec<(u32, hadar_cluster::MachineId)> = ctx
             .cluster
             .machine_ids()
+            .filter(|&h| ctx.is_up(h))
             .filter_map(|h| {
                 let free = usage.free_on_machine(ctx.cluster, h);
                 (free > 0).then_some((free, h))
@@ -79,6 +80,18 @@ impl Scheduler for YarnCsScheduler {
     fn schedule(&mut self, ctx: &SchedulerContext<'_>) -> Allocation {
         let mut usage = Usage::empty(ctx.cluster);
         let mut alloc = Allocation::empty();
+
+        // Machine failures are the one event that takes containers away
+        // from a non-preemptive scheduler: the engine evicts a job whose
+        // machine died (its placement comes back empty), and it must
+        // re-queue FIFO rather than keep phantom containers on the corpse.
+        if ctx.availability.any_down() {
+            for s in ctx.jobs {
+                if s.placement.is_empty() {
+                    self.running.remove(&s.job.id);
+                }
+            }
+        }
 
         // Running jobs keep their exact containers (non-preemptive).
         for s in ctx.jobs {
@@ -143,7 +156,9 @@ mod tests {
             },
             cluster.catalog(),
         );
-        let out = Simulation::new(cluster, jobs, SimConfig::default()).run(YarnCsScheduler::new());
+        let out = Simulation::new(cluster, jobs, SimConfig::default())
+            .run(YarnCsScheduler::new())
+            .unwrap();
         assert_eq!(out.completed_jobs(), 12);
         assert!(!out.timed_out);
     }
@@ -160,7 +175,9 @@ mod tests {
             },
             cluster.catalog(),
         );
-        let out = Simulation::new(cluster, jobs, SimConfig::default()).run(YarnCsScheduler::new());
+        let out = Simulation::new(cluster, jobs, SimConfig::default())
+            .run(YarnCsScheduler::new())
+            .unwrap();
         for r in &out.records {
             assert_eq!(
                 r.reallocations, 1,
@@ -180,7 +197,8 @@ mod tests {
         let j0 = Job::for_model(JobId(0), DlTask::ResNet18, cluster.catalog(), 0.0, 2, 30);
         let j1 = Job::for_model(JobId(1), DlTask::ResNet18, cluster.catalog(), 0.0, 2, 30);
         let out = Simulation::new(cluster, vec![j0, j1], SimConfig::default())
-            .run(YarnCsScheduler::new());
+            .run(YarnCsScheduler::new())
+            .unwrap();
         let s0 = out.records[0].first_scheduled.unwrap();
         let s1 = out.records[1].first_scheduled.unwrap();
         assert!(s0 < s1, "FIFO violated: {s0} !< {s1}");
@@ -199,7 +217,8 @@ mod tests {
         let big = Job::for_model(JobId(1), DlTask::ResNet18, cluster.catalog(), 0.0, 2, 30);
         let small = Job::for_model(JobId(2), DlTask::ResNet18, cluster.catalog(), 0.0, 1, 30);
         let out = Simulation::new(cluster, vec![hog, big, small], SimConfig::default())
-            .run(YarnCsScheduler::new());
+            .run(YarnCsScheduler::new())
+            .unwrap();
         assert_eq!(out.completed_jobs(), 3);
         let small_start = out.records[2].first_scheduled.unwrap();
         let big_start = out.records[1].first_scheduled.unwrap();
@@ -207,6 +226,35 @@ mod tests {
             small_start >= big_start,
             "strict FIFO violated: small started at {small_start}, head at {big_start}"
         );
+    }
+
+    #[test]
+    fn failures_break_nonpreemption_but_jobs_requeue() {
+        // The one exception to "never preempted": a machine death evicts its
+        // jobs, which must re-enter the FIFO queue and still complete.
+        let cluster = Cluster::paper_simulation();
+        let jobs = generate_trace(
+            &TraceConfig {
+                num_jobs: 8,
+                seed: 9,
+                pattern: ArrivalPattern::Static,
+            },
+            cluster.catalog(),
+        );
+        let n = jobs.len();
+        let config = SimConfig {
+            failure: Some(hadar_sim::FailureModel {
+                mtbf_rounds: 15.0,
+                mttr_rounds: 3.0,
+                seed: 11,
+            }),
+            ..SimConfig::default()
+        };
+        let out = Simulation::new(cluster, jobs, config)
+            .run(YarnCsScheduler::new())
+            .unwrap();
+        assert_eq!(out.completed_jobs(), n);
+        hadar_sim::check_lifecycle(out.events(), n).unwrap();
     }
 
     #[test]
@@ -223,6 +271,7 @@ mod tests {
         let run = || {
             Simulation::new(cluster.clone(), jobs.clone(), SimConfig::default())
                 .run(YarnCsScheduler::new())
+                .unwrap()
         };
         assert_eq!(run().jcts(), run().jcts());
     }

@@ -16,7 +16,7 @@ fn main() {
             .map(|_| {
                 let t0 = Instant::now();
                 let s = paper_sim_scenario(24, 9, ArrivalPattern::Static);
-                let out = run_scenario(s.cluster, s.jobs, s.config, kind);
+                let out = run_scenario(s.cluster, s.jobs, s.config, kind).expect("valid scenario");
                 assert_eq!(out.completed_jobs(), 24);
                 std::hint::black_box(out.mean_jct());
                 t0.elapsed().as_secs_f64()

@@ -31,6 +31,7 @@ fn main() {
         figures::table4::run(quick, &runner),
         figures::ablation::run(quick, &runner),
         figures::stragglers::run(quick, &runner),
+        figures::failures::run(quick, &runner),
         figures::extensions::run(quick, &runner),
     ];
     println!("==============================================================");

@@ -1,0 +1,10 @@
+//! Run the machine-failure resilience comparison. Pass `--quick` for a
+//! reduced-size run and `--threads N` to control the sweep worker count.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let runner = hadar_bench::runner_from_cli(&args);
+    let r = hadar_bench::figures::failures::run(quick, &runner);
+    hadar_bench::figures::print_report(&r);
+}

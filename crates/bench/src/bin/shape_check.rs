@@ -19,7 +19,7 @@ fn main() {
     for kind in SchedulerKind::HEADLINE {
         let s = paper_sim_scenario(n, 42, pattern);
         let t0 = std::time::Instant::now();
-        let out = run_scenario(s.cluster, s.jobs, s.config, kind);
+        let out = run_scenario(s.cluster, s.jobs, s.config, kind).expect("valid scenario");
         println!(
             "{:<10} meanJCT {:>8.2} h | medJCT {:>8.2} h | makespan {:>8.2} h | util {:>5.1}% | FTF {:>6.2} | qdelay {:>7.2} h | realloc {:>4.1}% | done {} | wall {:?}",
             out.scheduler,

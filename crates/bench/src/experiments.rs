@@ -5,7 +5,7 @@ use hadar_baselines::{
 };
 use hadar_cluster::Cluster;
 use hadar_core::{FtfUtility, HadarConfig, HadarScheduler, MinMakespan, UtilityKind};
-use hadar_sim::{Scheduler, SimConfig, SimOutcome, Simulation};
+use hadar_sim::{Scheduler, SimConfig, SimResult, Simulation};
 use hadar_workload::Job;
 
 /// The schedulers compared in the evaluation.
@@ -75,19 +75,21 @@ impl SchedulerKind {
     }
 }
 
-/// Run one simulation of `kind` over `jobs` on `cluster`.
+/// Run one simulation of `kind` over `jobs` on `cluster`. A bad
+/// configuration or an invalid allocation surfaces as a [`hadar_sim::SimError`]
+/// for the caller (typically a sweep cell) to report.
 pub fn run_scenario(
     cluster: Cluster,
     jobs: Vec<Job>,
     config: SimConfig,
     kind: SchedulerKind,
-) -> SimOutcome {
+) -> SimResult {
     let n = jobs.len();
     let scheduler = kind.build(&cluster, n);
-    let mut outcome = Simulation::new(cluster, jobs, config).run(scheduler);
+    let mut outcome = Simulation::new(cluster, jobs, config).run(scheduler)?;
     // Label with the comparison name (e.g. distinguish Hadar variants).
     outcome.scheduler = kind.name().to_owned();
-    outcome
+    Ok(outcome)
 }
 
 /// The directory experiment binaries write CSVs to.
@@ -140,7 +142,8 @@ mod tests {
             SchedulerKind::YarnCs,
             SchedulerKind::Srtf,
         ] {
-            let out = run_scenario(cluster.clone(), jobs.clone(), SimConfig::default(), kind);
+            let out = run_scenario(cluster.clone(), jobs.clone(), SimConfig::default(), kind)
+                .expect("valid scenario");
             assert_eq!(out.completed_jobs(), 6, "{}", kind.name());
             assert_eq!(out.scheduler, kind.name());
         }

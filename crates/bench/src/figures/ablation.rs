@@ -11,7 +11,7 @@
 use hadar_core::profiler::ProfilerConfig;
 use hadar_core::{AllocMode, Features, HadarConfig, HadarScheduler};
 use hadar_metrics::CsvWriter;
-use hadar_sim::{CheckpointModel, PreemptionPenalty, SimOutcome, Simulation, SweepRunner};
+use hadar_sim::{CheckpointModel, PreemptionPenalty, SimResult, Simulation, SweepRunner};
 use hadar_workload::ArrivalPattern;
 
 use crate::figures::{results_dir, FigureResult};
@@ -98,14 +98,14 @@ pub fn run(quick: bool, runner: &SweepRunner) -> FigureResult {
     let num_jobs = if quick { 30 } else { 160 };
     let seed = 42;
 
-    let cells: Vec<Box<dyn FnOnce() -> SimOutcome + Send>> = variants()
+    let cells: Vec<Box<dyn FnOnce() -> SimResult + Send>> = variants()
         .into_iter()
         .map(|v| {
             Box::new(move || {
                 let mut s = paper_sim_scenario(num_jobs, seed, ArrivalPattern::Static);
                 s.config.penalty = v.penalty;
                 Simulation::new(s.cluster, s.jobs, s.config).run(HadarScheduler::new((v.config)()))
-            }) as Box<dyn FnOnce() -> SimOutcome + Send>
+            }) as Box<dyn FnOnce() -> SimResult + Send>
         })
         .collect();
     let results = runner.run(cells);
@@ -122,7 +122,7 @@ pub fn run(quick: bool, runner: &SweepRunner) -> FigureResult {
     let mut timings = Vec::new();
 
     for (v, cell) in variants().into_iter().zip(results) {
-        let out = cell.outcome;
+        let out = cell.outcome.expect("simulation cell failed");
         timings.push((v.label.to_owned(), cell.wall_seconds));
         assert_eq!(out.completed_jobs(), num_jobs, "{}", v.label);
         csv.row(vec![

@@ -11,7 +11,7 @@
 
 use hadar_cluster::{Cluster, ClusterBuilder};
 use hadar_metrics::CsvWriter;
-use hadar_sim::{SimOutcome, SweepRunner};
+use hadar_sim::{SimResult, SweepRunner};
 use hadar_workload::{generate_trace, ArrivalPattern, TraceConfig};
 
 use crate::experiments::{run_scenario, SchedulerKind};
@@ -51,7 +51,7 @@ pub fn run(quick: bool, runner: &SweepRunner) -> FigureResult {
     })
     .collect();
 
-    let cells: Vec<Box<dyn FnOnce() -> SimOutcome + Send>> = grid
+    let cells: Vec<Box<dyn FnOnce() -> SimResult + Send>> = grid
         .iter()
         .map(|(_, cluster, kind)| {
             let (cluster, kind) = (cluster.clone(), *kind);
@@ -66,7 +66,7 @@ pub fn run(quick: bool, runner: &SweepRunner) -> FigureResult {
                 );
                 let s = paper_sim_scenario(1, 0, ArrivalPattern::Static); // config template
                 run_scenario(cluster, jobs, s.config, kind)
-            }) as Box<dyn FnOnce() -> SimOutcome + Send>
+            }) as Box<dyn FnOnce() -> SimResult + Send>
         })
         .collect();
     let results = runner.run(cells);
@@ -79,7 +79,7 @@ pub fn run(quick: bool, runner: &SweepRunner) -> FigureResult {
     {
         for ((label, _, kind), cell) in grid.iter().zip(results) {
             let (label, kind) = (*label, *kind);
-            let out = cell.outcome;
+            let out = cell.outcome.expect("simulation cell failed");
             timings.push((format!("{label} / {}", kind.name()), cell.wall_seconds));
             assert_eq!(out.completed_jobs(), num_jobs, "{label}/{}", kind.name());
             csv.row(vec![

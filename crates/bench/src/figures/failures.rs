@@ -1,0 +1,143 @@
+//! Machine-failure resilience experiment.
+//!
+//! Each scheduler runs the same trace on a healthy cluster and then under
+//! progressively less reliable machines (decreasing MTBF, fixed MTTR). A
+//! failure evicts every job on the dying machine: the round's work is lost,
+//! the gang re-queues, and the re-placement pays the checkpoint-restore
+//! penalty. We report the JCT degradation along the failure axis together
+//! with the eviction count and the GPU-hours of capacity lost to downtime —
+//! the failure-model analogue of the straggler experiment.
+
+use hadar_metrics::CsvWriter;
+use hadar_sim::{FailureModel, SimResult, SweepRunner};
+use hadar_workload::ArrivalPattern;
+
+use crate::experiments::{run_scenario, SchedulerKind};
+use crate::figures::{results_dir, FigureResult};
+use crate::scenarios::paper_sim_scenario;
+
+/// Mean time to repair, in rounds (30 simulated minutes).
+const MTTR_ROUNDS: f64 = 5.0;
+
+/// The MTBF sweep: `None` is the healthy reference, the rest inject
+/// failures with the given per-machine mean time between failures (rounds).
+fn mtbf_axis(quick: bool) -> Vec<Option<f64>> {
+    if quick {
+        vec![None, Some(60.0)]
+    } else {
+        vec![None, Some(240.0), Some(120.0), Some(60.0)]
+    }
+}
+
+/// Label for one MTBF point.
+fn mtbf_label(mtbf: Option<f64>) -> String {
+    match mtbf {
+        None => "healthy".to_owned(),
+        Some(m) => format!("mtbf={m:.0}"),
+    }
+}
+
+/// Run the failure resilience comparison, fanning the
+/// (scheduler × MTBF) cells out over `runner`.
+pub fn run(quick: bool, runner: &SweepRunner) -> FigureResult {
+    let num_jobs = if quick { 24 } else { 160 };
+    let seed = 42;
+    let axis = mtbf_axis(quick);
+
+    let mut cells: Vec<Box<dyn FnOnce() -> SimResult + Send>> = Vec::new();
+    let mut labels: Vec<String> = Vec::new();
+    for kind in SchedulerKind::HEADLINE {
+        for &mtbf in &axis {
+            labels.push(format!("{} {}", kind.name(), mtbf_label(mtbf)));
+            cells.push(Box::new(move || {
+                let mut s = paper_sim_scenario(num_jobs, seed, ArrivalPattern::Static);
+                s.config.failure = mtbf.map(|m| FailureModel {
+                    mtbf_rounds: m,
+                    mttr_rounds: MTTR_ROUNDS,
+                    seed: 17,
+                });
+                run_scenario(s.cluster, s.jobs, s.config, kind)
+            }));
+        }
+    }
+    let results = runner.run(cells);
+    let timings: Vec<(String, f64)> = labels
+        .into_iter()
+        .zip(&results)
+        .map(|(l, c)| (l, c.wall_seconds))
+        .collect();
+    let mut outcomes = results
+        .into_iter()
+        .map(|c| c.outcome.expect("simulation cell failed"));
+
+    let mut csv = CsvWriter::new(&[
+        "scheduler",
+        "mtbf_rounds",
+        "mean_jct_hours",
+        "jct_degradation_percent",
+        "evictions",
+        "machine_failures",
+        "lost_gpu_hours",
+    ]);
+    let mut summary = format!(
+        "Failures: JCT vs machine MTBF (mttr {MTTR_ROUNDS:.0} rounds, {num_jobs} static jobs)\n"
+    );
+
+    for kind in SchedulerKind::HEADLINE {
+        let mut healthy_jct = None;
+        for &mtbf in &axis {
+            let out = outcomes.next().expect("one outcome per cell");
+            assert_eq!(out.completed_jobs(), num_jobs, "{}", kind.name());
+            let jct = out.mean_jct();
+            let h = *healthy_jct.get_or_insert(jct);
+            let degradation = (jct - h) / h * 100.0;
+            csv.row(vec![
+                kind.name().to_owned(),
+                mtbf.map_or_else(|| "inf".to_owned(), |m| format!("{m:.0}")),
+                format!("{:.3}", jct / 3600.0),
+                format!("{degradation:.2}"),
+                out.evictions().to_string(),
+                out.machine_failures().to_string(),
+                format!("{:.2}", out.lost_gpu_seconds() / 3600.0),
+            ]);
+            summary.push_str(&format!(
+                "  {:<9} {:>10}  JCT {:>7.2} h ({:+.1}%), {} evictions, {:.0} GPU-h lost\n",
+                kind.name(),
+                mtbf_label(mtbf),
+                jct / 3600.0,
+                degradation,
+                out.evictions(),
+                out.lost_gpu_seconds() / 3600.0,
+            ));
+        }
+    }
+
+    let path = results_dir().join("failures.csv");
+    csv.write_to(&path).expect("write failures csv");
+    FigureResult::new("failures", summary, vec![path]).with_timings(timings)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_reports_all_schedulers() {
+        let r = run(true, &SweepRunner::serial());
+        assert_eq!(r.timings.len(), 8);
+        let csv = std::fs::read_to_string(&r.csv_paths[0]).unwrap();
+        assert_eq!(csv.lines().count(), 9);
+        assert!(r.summary.contains("mtbf=60"));
+        // The injected-failure rows actually exercised the fault path.
+        let evicting_rows = csv
+            .lines()
+            .skip(1)
+            .filter(|l| l.contains(",60,"))
+            .filter(|l| {
+                let evictions: u64 = l.split(',').nth(4).unwrap().parse().unwrap();
+                evictions > 0
+            })
+            .count();
+        assert!(evicting_rows > 0, "no scheduler recorded an eviction");
+    }
+}

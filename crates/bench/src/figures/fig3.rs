@@ -2,7 +2,7 @@
 //! static (3a) and continuous (3b) traces, under all four schedulers.
 
 use hadar_metrics::{line_chart, CsvWriter};
-use hadar_sim::{SimOutcome, SweepRunner};
+use hadar_sim::{SimResult, SweepRunner};
 use hadar_workload::ArrivalPattern;
 
 use crate::experiments::{run_scenario, SchedulerKind};
@@ -39,13 +39,13 @@ pub fn run(panel: Panel, quick: bool, runner: &SweepRunner) -> FigureResult {
     let num_jobs = if quick { 40 } else { 480 };
     let seed = 42;
 
-    let cells: Vec<Box<dyn FnOnce() -> SimOutcome + Send>> = SchedulerKind::HEADLINE
+    let cells: Vec<Box<dyn FnOnce() -> SimResult + Send>> = SchedulerKind::HEADLINE
         .into_iter()
         .map(|kind| {
             Box::new(move || {
                 let s = paper_sim_scenario(num_jobs, seed, panel.pattern());
                 run_scenario(s.cluster, s.jobs, s.config, kind)
-            }) as Box<dyn FnOnce() -> SimOutcome + Send>
+            }) as Box<dyn FnOnce() -> SimResult + Send>
         })
         .collect();
     let results = runner.run(cells);
@@ -60,7 +60,7 @@ pub fn run(panel: Panel, quick: bool, runner: &SweepRunner) -> FigureResult {
     // Consume results in cell order so the ratios against Hadar (always the
     // first cell) and the CSV stay identical to a serial run.
     for (kind, cell) in SchedulerKind::HEADLINE.into_iter().zip(results) {
-        let out = cell.outcome;
+        let out = cell.outcome.expect("simulation cell failed");
         timings.push((out.scheduler.clone(), cell.wall_seconds));
         assert_eq!(
             out.completed_jobs(),

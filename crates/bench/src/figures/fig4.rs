@@ -13,7 +13,7 @@
 //!   YARN-CS by construction).
 
 use hadar_metrics::{bar_chart, CsvWriter};
-use hadar_sim::{SimOutcome, SweepRunner};
+use hadar_sim::{SimResult, SweepRunner};
 use hadar_workload::ArrivalPattern;
 
 use crate::experiments::{run_scenario, SchedulerKind};
@@ -25,13 +25,13 @@ pub fn run(quick: bool, runner: &SweepRunner) -> FigureResult {
     let num_jobs = if quick { 40 } else { 480 };
     let seed = 42;
 
-    let cells: Vec<Box<dyn FnOnce() -> SimOutcome + Send>> = SchedulerKind::HEADLINE
+    let cells: Vec<Box<dyn FnOnce() -> SimResult + Send>> = SchedulerKind::HEADLINE
         .into_iter()
         .map(|kind| {
             Box::new(move || {
                 let s = paper_sim_scenario(num_jobs, seed, ArrivalPattern::Static);
                 run_scenario(s.cluster, s.jobs, s.config, kind)
-            }) as Box<dyn FnOnce() -> SimOutcome + Send>
+            }) as Box<dyn FnOnce() -> SimResult + Send>
         })
         .collect();
     let results = runner.run(cells);
@@ -46,7 +46,7 @@ pub fn run(quick: bool, runner: &SweepRunner) -> FigureResult {
     let mut timings = Vec::new();
 
     for cell in results {
-        let out = cell.outcome;
+        let out = cell.outcome.expect("simulation cell failed");
         timings.push((out.scheduler.clone(), cell.wall_seconds));
         let (dw, ht, cw) = (
             out.demand_weighted_utilization(),

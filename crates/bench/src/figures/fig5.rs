@@ -2,7 +2,7 @@
 //! Hadar. Lower ρ = fairer/faster than the 1/n-share baseline.
 
 use hadar_metrics::{bar_chart, CsvWriter};
-use hadar_sim::{SimOutcome, SweepRunner};
+use hadar_sim::{SimResult, SweepRunner};
 use hadar_workload::ArrivalPattern;
 
 use crate::experiments::{run_scenario, SchedulerKind};
@@ -21,13 +21,13 @@ pub fn run(quick: bool, runner: &SweepRunner) -> FigureResult {
     let num_jobs = if quick { 40 } else { 480 };
     let seed = 42;
 
-    let cells: Vec<Box<dyn FnOnce() -> SimOutcome + Send>> = SCHEDULERS
+    let cells: Vec<Box<dyn FnOnce() -> SimResult + Send>> = SCHEDULERS
         .into_iter()
         .map(|kind| {
             Box::new(move || {
                 let s = paper_sim_scenario(num_jobs, seed, ArrivalPattern::Static);
                 run_scenario(s.cluster, s.jobs, s.config, kind)
-            }) as Box<dyn FnOnce() -> SimOutcome + Send>
+            }) as Box<dyn FnOnce() -> SimResult + Send>
         })
         .collect();
     let results = runner.run(cells);
@@ -41,7 +41,7 @@ pub fn run(quick: bool, runner: &SweepRunner) -> FigureResult {
     // Cell order is fixed (Hadar first), so the "(x Hadar)" ratios match a
     // serial run exactly.
     for (kind, cell) in SCHEDULERS.into_iter().zip(results) {
-        let out = cell.outcome;
+        let out = cell.outcome.expect("simulation cell failed");
         timings.push((out.scheduler.clone(), cell.wall_seconds));
         let stats = out.ftf();
         if kind == SchedulerKind::Hadar {

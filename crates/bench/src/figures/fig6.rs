@@ -3,7 +3,7 @@
 //! minimization" (the [`hadar_core::MinMakespan`] utility).
 
 use hadar_metrics::{bar_chart, CsvWriter};
-use hadar_sim::{SimOutcome, SweepRunner};
+use hadar_sim::{SimResult, SweepRunner};
 use hadar_workload::ArrivalPattern;
 
 use crate::experiments::{run_scenario, SchedulerKind};
@@ -20,13 +20,13 @@ pub fn run(quick: bool, runner: &SweepRunner) -> FigureResult {
         SchedulerKind::Gavel,
         SchedulerKind::Tiresias,
     ];
-    let cells: Vec<Box<dyn FnOnce() -> SimOutcome + Send>> = schedulers
+    let cells: Vec<Box<dyn FnOnce() -> SimResult + Send>> = schedulers
         .into_iter()
         .map(|kind| {
             Box::new(move || {
                 let s = paper_sim_scenario(num_jobs, seed, ArrivalPattern::Static);
                 run_scenario(s.cluster, s.jobs, s.config, kind)
-            }) as Box<dyn FnOnce() -> SimOutcome + Send>
+            }) as Box<dyn FnOnce() -> SimResult + Send>
         })
         .collect();
     let results = runner.run(cells);
@@ -39,7 +39,7 @@ pub fn run(quick: bool, runner: &SweepRunner) -> FigureResult {
     // Hadar (makespan) is always the first cell, so the "(x Hadar)" ratios
     // match a serial run exactly.
     for (kind, cell) in schedulers.into_iter().zip(results) {
-        let out = cell.outcome;
+        let out = cell.outcome.expect("simulation cell failed");
         timings.push((out.scheduler.clone(), cell.wall_seconds));
         let makespan = out.makespan();
         if kind == SchedulerKind::HadarMakespan {

@@ -51,7 +51,7 @@ pub fn measure(num_jobs: usize, seed: u64) -> (f64, f64) {
             // simplex replaced the dense tableau (no greedy fallback).
             Kind::Gavel => sim.run(GavelScheduler::new(GavelConfig::default())),
         };
-        out.rounds[0].decision_seconds
+        out.expect("valid scale-probe scenario").rounds[0].decision_seconds
     };
     (decision(Kind::Hadar), decision(Kind::Gavel))
 }

@@ -26,7 +26,7 @@ pub fn run(quick: bool, runner: &SweepRunner) -> FigureResult {
         (240, &[30.0, 45.0, 60.0, 75.0, 90.0], &[1, 2, 3])
     };
 
-    let mut tasks: Vec<Box<dyn FnOnce() -> hadar_sim::SimOutcome + Send>> = Vec::new();
+    let mut tasks: Vec<Box<dyn FnOnce() -> hadar_sim::SimResult + Send>> = Vec::new();
     let mut index: Vec<(SchedulerKind, f64)> = Vec::new();
     let mut labels: Vec<String> = Vec::new();
     for kind in SCHEDULERS {
@@ -50,7 +50,10 @@ pub fn run(quick: bool, runner: &SweepRunner) -> FigureResult {
         .zip(&results)
         .map(|(l, c)| (l, c.wall_seconds))
         .collect();
-    let outcomes: Vec<hadar_sim::SimOutcome> = results.into_iter().map(|c| c.outcome).collect();
+    let outcomes: Vec<hadar_sim::SimOutcome> = results
+        .into_iter()
+        .map(|c| c.outcome.expect("simulation cell failed"))
+        .collect();
 
     let mut csv = CsvWriter::new(&[
         "scheduler",

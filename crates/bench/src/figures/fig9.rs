@@ -25,7 +25,7 @@ pub fn run(quick: bool, runner: &SweepRunner) -> FigureResult {
     };
     let seed = 11;
 
-    let mut tasks: Vec<Box<dyn FnOnce() -> hadar_sim::SimOutcome + Send>> = Vec::new();
+    let mut tasks: Vec<Box<dyn FnOnce() -> hadar_sim::SimResult + Send>> = Vec::new();
     let mut index: Vec<(f64, f64)> = Vec::new();
     for &rm in round_minutes {
         for &rate in rates {
@@ -49,7 +49,10 @@ pub fn run(quick: bool, runner: &SweepRunner) -> FigureResult {
         .zip(&results)
         .map(|(&(rm, rate), c)| (format!("round {rm} min λ={rate}/h"), c.wall_seconds))
         .collect();
-    let outcomes: Vec<hadar_sim::SimOutcome> = results.into_iter().map(|c| c.outcome).collect();
+    let outcomes: Vec<hadar_sim::SimOutcome> = results
+        .into_iter()
+        .map(|c| c.outcome.expect("simulation cell failed"))
+        .collect();
 
     let mut csv = CsvWriter::new(&["round_minutes", "jobs_per_hour", "mean_jct_hours"]);
     let mut summary = format!("Fig. 9: Hadar avg JCT vs round length ({num_jobs} jobs/run)\n");

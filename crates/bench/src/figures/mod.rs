@@ -17,6 +17,7 @@
 
 pub mod ablation;
 pub mod extensions;
+pub mod failures;
 pub mod fig3;
 pub mod fig4;
 pub mod fig5;

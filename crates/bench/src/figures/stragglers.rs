@@ -9,7 +9,7 @@
 //! long as a slowdown lasts.
 
 use hadar_metrics::CsvWriter;
-use hadar_sim::{SimOutcome, StragglerModel, SweepRunner};
+use hadar_sim::{SimResult, StragglerModel, SweepRunner};
 use hadar_workload::ArrivalPattern;
 
 use crate::experiments::{run_scenario, SchedulerKind};
@@ -28,7 +28,7 @@ pub fn run(quick: bool, runner: &SweepRunner) -> FigureResult {
         seed: 17,
     };
 
-    let mut cells: Vec<Box<dyn FnOnce() -> SimOutcome + Send>> = Vec::new();
+    let mut cells: Vec<Box<dyn FnOnce() -> SimResult + Send>> = Vec::new();
     let mut labels: Vec<String> = Vec::new();
     for kind in SchedulerKind::HEADLINE {
         for straggling in [false, true] {
@@ -52,7 +52,9 @@ pub fn run(quick: bool, runner: &SweepRunner) -> FigureResult {
         .zip(&results)
         .map(|(l, c)| (l, c.wall_seconds))
         .collect();
-    let mut outcomes = results.into_iter().map(|c| c.outcome);
+    let mut outcomes = results
+        .into_iter()
+        .map(|c| c.outcome.expect("simulation cell failed"));
 
     let mut csv = CsvWriter::new(&[
         "scheduler",

@@ -10,7 +10,7 @@
 //! 10 %; we reproduce that claim as the gap between these two rows.
 
 use hadar_metrics::{CsvWriter, Table};
-use hadar_sim::{CheckpointModel, PreemptionPenalty, SimOutcome, SweepRunner};
+use hadar_sim::{CheckpointModel, PreemptionPenalty, SimResult, SweepRunner};
 
 use crate::experiments::{run_scenario, SchedulerKind};
 use crate::figures::{results_dir, FigureResult};
@@ -29,7 +29,7 @@ pub fn run(_quick: bool, runner: &SweepRunner) -> FigureResult {
         .into_iter()
         .flat_map(|physical| SCHEDULERS.into_iter().map(move |kind| (physical, kind)))
         .collect();
-    let sim_cells: Vec<Box<dyn FnOnce() -> SimOutcome + Send>> = grid
+    let sim_cells: Vec<Box<dyn FnOnce() -> SimResult + Send>> = grid
         .iter()
         .map(|&(physical, kind)| {
             Box::new(move || {
@@ -38,7 +38,7 @@ pub fn run(_quick: bool, runner: &SweepRunner) -> FigureResult {
                     s.config.penalty = PreemptionPenalty::Modeled(CheckpointModel::default());
                 }
                 run_scenario(s.cluster, s.jobs, s.config, kind)
-            }) as Box<dyn FnOnce() -> SimOutcome + Send>
+            }) as Box<dyn FnOnce() -> SimResult + Send>
         })
         .collect();
     let results = runner.run(sim_cells);
@@ -60,7 +60,7 @@ pub fn run(_quick: bool, runner: &SweepRunner) -> FigureResult {
         let mut cells = Vec::new();
         for _ in SCHEDULERS {
             let (_, cell) = outcomes.next().expect("one outcome per grid cell");
-            let out = cell.outcome;
+            let out = cell.outcome.expect("simulation cell failed");
             timings.push((format!("{label} / {}", out.scheduler), cell.wall_seconds));
             assert_eq!(out.completed_jobs(), 10, "{}", out.scheduler);
             let jct = out.mean_jct() / 3600.0;

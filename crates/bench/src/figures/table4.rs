@@ -4,7 +4,7 @@
 //! with the modeled checkpoint costs.
 
 use hadar_metrics::{CsvWriter, Table};
-use hadar_sim::{CheckpointModel, PreemptionPenalty, SimOutcome, SweepRunner};
+use hadar_sim::{CheckpointModel, PreemptionPenalty, SimResult, SweepRunner};
 use hadar_workload::{ArrivalPattern, DlTask};
 
 use crate::experiments::{run_scenario, SchedulerKind};
@@ -43,7 +43,7 @@ pub fn run(quick: bool, runner: &SweepRunner) -> FigureResult {
     // Cross-check with a live run: total stall time / total held time under
     // the modeled penalty.
     let num_jobs = if quick { 20 } else { 120 };
-    let cell: Vec<Box<dyn FnOnce() -> SimOutcome + Send>> = vec![Box::new(move || {
+    let cell: Vec<Box<dyn FnOnce() -> SimResult + Send>> = vec![Box::new(move || {
         let mut s = paper_sim_scenario(num_jobs, 5, ArrivalPattern::Static);
         s.config.penalty = PreemptionPenalty::Modeled(model);
         run_scenario(s.cluster, s.jobs, s.config, SchedulerKind::Hadar)
@@ -51,7 +51,10 @@ pub fn run(quick: bool, runner: &SweepRunner) -> FigureResult {
     let mut results = runner.run(cell);
     let live = results.pop().expect("live cross-check cell");
     let timings = vec![("Hadar live cross-check".to_owned(), live.wall_seconds)];
-    let realloc_rate = live.outcome.reallocation_rate();
+    let realloc_rate = live
+        .outcome
+        .expect("simulation cell failed")
+        .reallocation_rate();
 
     let summary = format!(
         "Table IV: preemption overhead per model (6-minute rounds, {} MiB/s effective SSD)\n{}\nLive run: {:.1}% of job-rounds required reallocation (paper §IV-A-5 reports ~30%)\n",

@@ -14,9 +14,11 @@ use hadar_sim::SweepRunner;
 /// Run a representative slice of the figure suite into `dir` and return
 /// `(csv name -> bytes, figure name -> summary)`.
 ///
-/// The slice covers the three sweep shapes: order-dependent "(x Hadar)"
-/// ratios (fig5), a parameter-grid sweep (fig9), and a multi-cluster
-/// comparison (extensions).
+/// The slice covers the sweep shapes: order-dependent "(x Hadar)"
+/// ratios (fig5), a parameter-grid sweep (fig9), a multi-cluster
+/// comparison (extensions), and the seeded fault-injection sweep
+/// (failures), whose RNG-driven eviction timeline must also be
+/// thread-count-invariant.
 fn run_figures_into(
     dir: &Path,
     runner: &SweepRunner,
@@ -27,6 +29,7 @@ fn run_figures_into(
         hadar_bench::figures::fig5::run(true, runner),
         hadar_bench::figures::fig9::run(true, runner),
         hadar_bench::figures::extensions::run(true, runner),
+        hadar_bench::figures::failures::run(true, runner),
     ];
     let mut csvs = BTreeMap::new();
     let mut summaries = BTreeMap::new();

@@ -2,7 +2,7 @@
 //! offline list — no clap).
 
 use hadar_cluster::Cluster;
-use hadar_sim::{CheckpointModel, PreemptionPenalty, StragglerModel, SweepRunner};
+use hadar_sim::{CheckpointModel, FailureModel, PreemptionPenalty, StragglerModel, SweepRunner};
 use hadar_workload::ArrivalPattern;
 
 /// Parsed `--key value` options plus positional arguments.
@@ -153,6 +153,33 @@ pub fn parse_straggler(spec: &str) -> Result<StragglerModel, String> {
     })
 }
 
+/// Build the machine-failure model from `--mtbf HOURS` (which enables fault
+/// injection), `--mttr HOURS` (default 0.5) and `--failure-seed N` (default
+/// 0). Times are wall-clock hours, converted to scheduling rounds of
+/// `round_length` seconds (at least one round each).
+pub fn parse_failure(opts: &Options, round_length: f64) -> Result<Option<FailureModel>, String> {
+    let Some(mtbf) = opts.get("mtbf") else {
+        if opts.get("mttr").is_some() || opts.get("failure-seed").is_some() {
+            return Err("--mttr/--failure-seed only apply together with --mtbf".into());
+        }
+        return Ok(None);
+    };
+    let mtbf_hours: f64 = mtbf.parse().map_err(|_| format!("bad --mtbf {mtbf:?}"))?;
+    let mttr_hours: f64 = opts.get_parsed("mttr", 0.5)?;
+    if !mtbf_hours.is_finite() || mtbf_hours <= 0.0 {
+        return Err("--mtbf must be a positive number of hours".into());
+    }
+    if !mttr_hours.is_finite() || mttr_hours <= 0.0 {
+        return Err("--mttr must be a positive number of hours".into());
+    }
+    let to_rounds = |hours: f64| (hours * 3600.0 / round_length).max(1.0);
+    Ok(Some(FailureModel {
+        mtbf_rounds: to_rounds(mtbf_hours),
+        mttr_rounds: to_rounds(mttr_hours),
+        seed: opts.get_parsed("failure-seed", 0u64)?,
+    }))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -240,5 +267,37 @@ mod tests {
         assert_eq!(m.seed, 9);
         assert!(parse_straggler("1,2,3").is_err());
         assert!(parse_straggler("a,b,c,d").is_err());
+    }
+
+    #[test]
+    fn failures() {
+        // No --mtbf: failure injection stays off.
+        assert_eq!(parse_failure(&opts(&[]), 360.0).unwrap(), None);
+        // 24h MTBF / 0.5h default MTTR at 6-minute rounds.
+        let m = parse_failure(&opts(&["--mtbf", "24"]), 360.0)
+            .unwrap()
+            .unwrap();
+        assert_eq!(m.mtbf_rounds, 240.0);
+        assert_eq!(m.mttr_rounds, 5.0);
+        assert_eq!(m.seed, 0);
+        let m = parse_failure(
+            &opts(&["--mtbf", "12", "--mttr", "1", "--failure-seed", "9"]),
+            360.0,
+        )
+        .unwrap()
+        .unwrap();
+        assert_eq!(m.mtbf_rounds, 120.0);
+        assert_eq!(m.mttr_rounds, 10.0);
+        assert_eq!(m.seed, 9);
+        // Sub-round repair times clamp to one round.
+        let m = parse_failure(&opts(&["--mtbf", "24", "--mttr", "0.01"]), 360.0)
+            .unwrap()
+            .unwrap();
+        assert_eq!(m.mttr_rounds, 1.0);
+        assert!(parse_failure(&opts(&["--mtbf", "0"]), 360.0).is_err());
+        assert!(parse_failure(&opts(&["--mtbf", "x"]), 360.0).is_err());
+        assert!(parse_failure(&opts(&["--mtbf", "24", "--mttr", "-1"]), 360.0).is_err());
+        assert!(parse_failure(&opts(&["--mttr", "1"]), 360.0).is_err());
+        assert!(parse_failure(&opts(&["--failure-seed", "1"]), 360.0).is_err());
     }
 }

@@ -4,10 +4,10 @@
 //! run; only wall-clock differs).
 
 use hadar_metrics::Table;
-use hadar_sim::{SimConfig, SimOutcome, Simulation};
+use hadar_sim::{SimConfig, SimResult, Simulation};
 use hadar_workload::{generate_trace, ArrivalPattern, TraceConfig};
 
-use crate::args::{parse_cluster, parse_pattern, parse_runner, Options};
+use crate::args::{parse_cluster, parse_failure, parse_pattern, parse_runner, Options};
 use crate::commands::scheduler_by_name;
 
 const SCHEDULERS: [&str; 4] = ["hadar", "gavel", "tiresias", "yarn"];
@@ -34,14 +34,19 @@ pub fn run(opts: &Options) -> Result<String, String> {
         cluster.catalog(),
     );
 
-    let cells: Vec<Box<dyn FnOnce() -> SimOutcome + Send>> = SCHEDULERS
+    let config = SimConfig {
+        failure: parse_failure(opts, SimConfig::default().round_length)?,
+        ..SimConfig::default()
+    };
+
+    let cells: Vec<Box<dyn FnOnce() -> SimResult + Send>> = SCHEDULERS
         .into_iter()
         .map(|name| {
             let (cluster, jobs) = (cluster.clone(), jobs.clone());
             Box::new(move || {
                 let scheduler = scheduler_by_name(name).expect("known scheduler name");
-                Simulation::new(cluster, jobs, SimConfig::default()).run(scheduler)
-            }) as Box<dyn FnOnce() -> SimOutcome + Send>
+                Simulation::new(cluster, jobs, config).run(scheduler)
+            }) as Box<dyn FnOnce() -> SimResult + Send>
         })
         .collect();
     let results = runner.run(cells);
@@ -57,7 +62,7 @@ pub fn run(opts: &Options) -> Result<String, String> {
     ]);
     let mut timings = String::new();
     for cell in results {
-        let out = cell.outcome;
+        let out = cell.outcome.map_err(|e| e.to_string())?;
         let m = out.metrics();
         timings.push_str(&format!(
             "  {:<9} cell wall-clock {:.2}s\n",
@@ -93,6 +98,38 @@ mod tests {
         for name in ["Hadar", "Gavel", "Tiresias", "YARN-CS"] {
             assert!(out.contains(name), "{name} missing:\n{out}");
         }
+    }
+
+    #[test]
+    fn failure_injection_is_deterministic_across_threads() {
+        // Fixed --failure-seed: the same fault timeline (and therefore the
+        // same table) whatever the worker count.
+        let base = [
+            "--jobs",
+            "6",
+            "--seed",
+            "4",
+            "--mtbf",
+            "1",
+            "--mttr",
+            "0.3",
+            "--failure-seed",
+            "7",
+            "--threads",
+        ];
+        let table = |threads: &str| {
+            let args: Vec<String> = base
+                .iter()
+                .map(|s| s.to_string())
+                .chain([threads.to_string()])
+                .collect();
+            let out = run(&Options::parse(args).unwrap()).unwrap();
+            out.lines()
+                .filter(|l| !l.contains("worker threads") && !l.contains("cell wall-clock"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(table("1"), table("4"));
     }
 
     #[test]

@@ -40,16 +40,23 @@ USAGE:
                      [--trace FILE | --jobs N --seed S --pattern P]
                      [--cluster paper|aws|toy|scaled:N] [--round-min M]
                      [--penalty none|fixed:SECS|modeled]
-                     [--straggler INC,SLOW,ROUNDS,SEED] [--csv FILE]
-                     [--threads N]
-      Run one simulation and print the metric report.
+                     [--straggler INC,SLOW,ROUNDS,SEED]
+                     [--mtbf HOURS] [--mttr HOURS] [--failure-seed S]
+                     [--csv FILE] [--threads N]
+      Run one simulation and print the metric report. --mtbf enables
+      seeded machine fault injection (mean time between failures per
+      machine, in hours; --mttr is the mean repair time, default 0.5 h):
+      jobs on a failed machine are evicted, lose the round, and pay the
+      checkpoint-restore penalty when re-placed.
 
   hadar-cli compare [--jobs N] [--seed S] [--pattern P] [--cluster C]
+                    [--mtbf HOURS] [--mttr HOURS] [--failure-seed S]
                     [--threads N]
       Run all four schedulers on the same workload and print a table.
       --threads N fans the four runs over N worker threads (default:
       HADAR_THREADS or the machine parallelism; results are identical to
-      --threads 1, only wall-clock differs).
+      --threads 1, only wall-clock differs). The --mtbf/--mttr/
+      --failure-seed fault-injection flags work as in simulate.
 ";
 
 #[cfg(test)]

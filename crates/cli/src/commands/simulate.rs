@@ -5,11 +5,12 @@
 //! report includes the cell's wall-clock time and `--threads` is accepted
 //! for symmetry with `compare` (it cannot change a one-cell run).
 
-use hadar_sim::{SimConfig, SimOutcome, Simulation};
+use hadar_sim::{SimConfig, SimOutcome, SimResult, Simulation};
 use hadar_workload::{generate_trace, load_trace_csv, ArrivalPattern, TraceConfig};
 
 use crate::args::{
-    parse_cluster, parse_pattern, parse_penalty, parse_runner, parse_straggler, Options,
+    parse_cluster, parse_failure, parse_pattern, parse_penalty, parse_runner, parse_straggler,
+    Options,
 };
 use crate::commands::scheduler_by_name;
 
@@ -62,9 +63,10 @@ pub fn run(opts: &Options) -> Result<(String, String), String> {
     if let Some(s) = opts.get("straggler") {
         config.straggler = Some(parse_straggler(s)?);
     }
+    config.failure = parse_failure(opts, config.round_length)?;
 
     let n = jobs.len();
-    let cell: Vec<Box<dyn FnOnce() -> SimOutcome + Send>> = vec![Box::new(move || {
+    let cell: Vec<Box<dyn FnOnce() -> SimResult + Send>> = vec![Box::new(move || {
         let scheduler = scheduler_by_name(&scheduler_name).expect("validated scheduler name");
         Simulation::new(cluster, jobs, config).run(scheduler)
     })];
@@ -72,15 +74,28 @@ pub fn run(opts: &Options) -> Result<(String, String), String> {
         .run(cell)
         .pop()
         .expect("one result for one simulation cell");
+    let outcome = result.outcome.map_err(|e| e.to_string())?;
     Ok((
-        render_report(&result.outcome, n, result.wall_seconds),
-        per_job_csv(&result.outcome),
+        render_report(&outcome, n, result.wall_seconds),
+        per_job_csv(&outcome),
     ))
 }
 
 fn render_report(out: &SimOutcome, submitted: usize, wall_seconds: f64) -> String {
     let m = out.metrics();
     let q = out.queuing_delays();
+    // Only rendered when fault injection actually fired, so reports from
+    // failure-free runs are unchanged.
+    let failures = if out.machine_failures() > 0 {
+        format!(
+            "\nmachine failures     : {} ({} evictions, {:.1} GPU-h capacity lost)",
+            out.machine_failures(),
+            out.evictions(),
+            out.lost_gpu_seconds() / 3600.0,
+        )
+    } else {
+        String::new()
+    };
     format!(
         "scheduler            : {}\n\
          jobs completed       : {}/{submitted}{}\n\
@@ -93,7 +108,7 @@ fn render_report(out: &SimOutcome, submitted: usize, wall_seconds: f64) -> Strin
          queuing delay        : {:.2} h mean, {:.2} h max\n\
          reallocation rate    : {:.1} % of job-rounds\n\
          scheduler decisions  : {:.3} ms mean wall time\n\
-         simulation wall time : {wall_seconds:.2} s",
+         simulation wall time : {wall_seconds:.2} s{failures}",
         out.scheduler,
         out.completed_jobs(),
         if out.timed_out { " (TIMED OUT)" } else { "" },
@@ -191,6 +206,53 @@ mod tests {
         .unwrap();
         assert!(report.contains("Tiresias"));
         assert!(report.contains("4/4"));
+    }
+
+    #[test]
+    fn simulate_with_failures() {
+        // An aggressive failure process (MTBF 0.5 h = 5 rounds) on a small
+        // trace: the run finishes and the report grows the failure block.
+        let (report, _) = run(&opts(&[
+            "--scheduler",
+            "hadar",
+            "--jobs",
+            "6",
+            "--seed",
+            "2",
+            "--mtbf",
+            "0.5",
+            "--mttr",
+            "0.2",
+            "--failure-seed",
+            "3",
+        ]))
+        .unwrap();
+        assert!(
+            report.contains("machine failures"),
+            "no failure block:\n{report}"
+        );
+    }
+
+    #[test]
+    fn bad_failure_flags_rejected() {
+        assert!(run(&opts(&[
+            "--scheduler",
+            "hadar",
+            "--jobs",
+            "2",
+            "--mtbf",
+            "-1"
+        ]))
+        .is_err());
+        assert!(run(&opts(&[
+            "--scheduler",
+            "hadar",
+            "--jobs",
+            "2",
+            "--mttr",
+            "1"
+        ]))
+        .is_err());
     }
 
     #[test]

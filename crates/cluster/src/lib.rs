@@ -43,6 +43,7 @@
 //! ```
 
 pub mod allocation;
+pub mod availability;
 pub mod catalog;
 pub mod cluster;
 pub mod comm;
@@ -51,6 +52,7 @@ pub mod rack;
 pub mod usage;
 
 pub use allocation::{Allocation, JobPlacement, PlacementSlice};
+pub use availability::Availability;
 pub use catalog::{GpuCatalog, GpuTypeId};
 pub use cluster::{Cluster, ClusterBuilder};
 pub use comm::CommCostModel;

@@ -62,17 +62,25 @@ pub struct AllocEnv<'a> {
     pub realloc_stall: f64,
     /// Candidate-generation ablation switches.
     pub features: Features,
-    /// Per-machine straggler factors (may be empty ⇒ all healthy). Hadar is
-    /// straggler-aware: candidate rates are discounted by their hosts'
+    /// Per-machine throughput factors (may be empty ⇒ all healthy). Hadar
+    /// is fault-aware: candidate rates are discounted by their hosts'
     /// factors, so placements avoid — and running jobs migrate off —
-    /// straggling servers.
+    /// straggling servers, and a factor of 0.0 (a *failed* machine, see the
+    /// simulator's failure model) excludes the machine from candidate
+    /// generation entirely.
     pub machine_factors: &'a [f64],
 }
 
 impl AllocEnv<'_> {
-    /// The straggler factor of machine `h` (1.0 when not provided).
+    /// The throughput factor of machine `h` (1.0 when not provided, 0.0
+    /// while the machine is down).
     pub fn machine_factor(&self, h: MachineId) -> f64 {
         self.machine_factors.get(h.index()).copied().unwrap_or(1.0)
+    }
+
+    /// Whether machine `h` can run tasks at all this round.
+    fn machine_usable(&self, h: MachineId) -> bool {
+        self.machine_factor(h) > 0.0
     }
 }
 
@@ -285,7 +293,7 @@ fn consolidated_homogeneous(
 ) -> Option<Vec<PlacementSlice>> {
     let mut best: Option<(f64, MachineId)> = None;
     for h in env.cluster.machine_ids() {
-        if usage.free(env.cluster, h, r) >= w {
+        if env.machine_usable(h) && usage.free(env.cluster, h, r) >= w {
             let cap = env.cluster.capacity(h, r);
             let cost = env.prices.price(r, usage.get(h, r), cap);
             if best.is_none_or(|(c, _)| cost < c) {
@@ -313,6 +321,7 @@ fn spread_homogeneous(
     let mut machines: Vec<(u32, MachineId)> = env
         .cluster
         .machine_ids()
+        .filter(|&h| env.machine_usable(h))
         .filter_map(|h| {
             let f = usage.free(env.cluster, h, r);
             (f > 0).then_some((f, h))
@@ -335,6 +344,7 @@ fn mixed_spread(
         let mut machines: Vec<(u32, MachineId)> = env
             .cluster
             .machine_ids()
+            .filter(|&h| env.machine_usable(h))
             .filter_map(|h| {
                 let f = usage.free(env.cluster, h, r);
                 (f > 0).then_some((f, h))
@@ -358,6 +368,9 @@ fn mixed_best_single_machine(
 ) -> Option<Vec<PlacementSlice>> {
     let mut best: Option<(f64, Vec<PlacementSlice>)> = None;
     for h in env.cluster.machine_ids() {
+        if !env.machine_usable(h) {
+            continue;
+        }
         let mut remaining = w;
         let mut slices = Vec::new();
         let mut bottleneck = f64::INFINITY;
@@ -594,6 +607,70 @@ mod tests {
         };
         let c2 = find_alloc(&state, &e2, &usage).unwrap();
         assert!(!c2.changed);
+    }
+
+    #[test]
+    fn down_machine_is_never_selected() {
+        // Same two-machine setup, but machine 0 is *down* (factor 0.0): the
+        // sticky candidate dies and every generated candidate must live
+        // entirely on machine 1. With both machines down, no candidate
+        // survives at all.
+        let mut b = hadar_cluster::ClusterBuilder::new();
+        let v100 = b.gpu_type("V100");
+        b.machine(&[(v100, 2)]);
+        b.machine(&[(v100, 2)]);
+        let cluster = b.build();
+        let job = hadar_workload::Job::for_model(
+            hadar_cluster::JobId(0),
+            hadar_workload::DlTask::ResNet18,
+            cluster.catalog(),
+            0.0,
+            2,
+            100,
+        );
+        let mut state = JobState::new(job);
+        state.placement = JobPlacement::single(MachineId(0), GpuTypeId(0), 2);
+        let comm = CommCostModel::default();
+        let prices = PriceState::compute(
+            std::slice::from_ref(&state),
+            &cluster,
+            &EffectiveThroughput,
+            0.0,
+        );
+        let factors = [0.0, 1.0];
+        let e = AllocEnv {
+            cluster: &cluster,
+            comm: &comm,
+            prices: &prices,
+            utility: &EffectiveThroughput,
+            now: 0.0,
+            realloc_stall: 10.0,
+            features: Features::default(),
+            machine_factors: &factors,
+        };
+        let usage = Usage::empty(&cluster);
+        let cands = find_candidates(&state, &e, &usage);
+        assert!(!cands.is_empty());
+        for c in &cands {
+            assert!(
+                c.placement
+                    .slices()
+                    .iter()
+                    .all(|sl| sl.machine == MachineId(1)),
+                "candidate touches the dead machine: {:?}",
+                c.placement
+            );
+        }
+        let c = find_alloc(&state, &e, &usage).expect("healthy machine available");
+        assert!(c.changed, "must evacuate the dead machine");
+        assert_eq!(c.placement.slices()[0].machine, MachineId(1));
+        // Whole cluster down ⇒ nothing schedulable.
+        let all_down = [0.0, 0.0];
+        let e2 = AllocEnv {
+            machine_factors: &all_down,
+            ..e
+        };
+        assert!(find_alloc(&state, &e2, &usage).is_none());
     }
 
     #[test]

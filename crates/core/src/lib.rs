@@ -47,7 +47,9 @@
 //!     cluster.catalog(),
 //! );
 //! let mut hadar = HadarScheduler::new(HadarConfig::default());
-//! let out = Simulation::new(cluster, jobs, SimConfig::default()).run(&mut hadar);
+//! let out = Simulation::new(cluster, jobs, SimConfig::default())
+//!     .run(&mut hadar)
+//!     .expect("valid policy and config");
 //! assert_eq!(out.completed_jobs(), 6);
 //! // The Theorem 2 bound of the last round's prices:
 //! assert!(hadar.last_competitive_bound().unwrap().ratio >= 2.0);

@@ -181,7 +181,8 @@ mod tests {
     fn completes_small_static_trace() {
         let (cluster, jobs) = trace(12, 1);
         let out = Simulation::new(cluster, jobs, SimConfig::default())
-            .run(HadarScheduler::new(HadarConfig::default()));
+            .run(HadarScheduler::new(HadarConfig::default()))
+            .unwrap();
         assert_eq!(out.completed_jobs(), 12);
         assert!(!out.timed_out);
         assert!(out.mean_jct() > 0.0);
@@ -193,6 +194,7 @@ mod tests {
         let run = || {
             Simulation::new(cluster.clone(), jobs.clone(), SimConfig::default())
                 .run(HadarScheduler::new(HadarConfig::default()))
+                .unwrap()
         };
         let (a, b) = (run(), run());
         assert_eq!(a.jcts(), b.jcts());
@@ -208,7 +210,8 @@ mod tests {
                 ..HadarConfig::default()
             };
             let out = Simulation::new(cluster.clone(), jobs.clone(), SimConfig::default())
-                .run(HadarScheduler::new(cfg));
+                .run(HadarScheduler::new(cfg))
+                .unwrap();
             assert_eq!(out.completed_jobs(), 8, "mode {mode:?}");
         }
     }
@@ -218,7 +221,9 @@ mod tests {
         let (cluster, jobs) = trace(5, 4);
         let mut sched = HadarScheduler::new(HadarConfig::default());
         assert!(sched.last_competitive_bound().is_none());
-        let out = Simulation::new(cluster, jobs, SimConfig::default()).run(&mut sched);
+        let out = Simulation::new(cluster, jobs, SimConfig::default())
+            .run(&mut sched)
+            .unwrap();
         assert_eq!(out.completed_jobs(), 5);
         let bound = sched.last_competitive_bound().expect("ran at least once");
         assert!(bound.alpha >= 1.0);
@@ -235,7 +240,8 @@ mod tests {
             Job::for_model(JobId(1), DlTask::Lstm, cluster.catalog(), 0.0, 4, 400),
         ];
         let out = Simulation::new(cluster, jobs, SimConfig::default())
-            .run(HadarScheduler::new(HadarConfig::default()));
+            .run(HadarScheduler::new(HadarConfig::default()))
+            .unwrap();
         assert_eq!(out.completed_jobs(), 2);
         for r in &out.records {
             assert!(
@@ -251,12 +257,12 @@ mod tests {
     fn incremental_mode_does_not_change_quality_materially() {
         let (cluster, jobs) = trace(20, 9);
         let run = |incremental: bool| {
-            Simulation::new(cluster.clone(), jobs.clone(), SimConfig::default()).run(
-                HadarScheduler::new(HadarConfig {
+            Simulation::new(cluster.clone(), jobs.clone(), SimConfig::default())
+                .run(HadarScheduler::new(HadarConfig {
                     incremental,
                     ..HadarConfig::default()
-                }),
-            )
+                }))
+                .unwrap()
         };
         let (on, off) = (run(true), run(false));
         assert_eq!(on.completed_jobs(), 20);
@@ -272,8 +278,9 @@ mod tests {
     fn makespan_utility_runs() {
         let (cluster, jobs) = trace(8, 5);
         let cfg = HadarConfig::with_utility(UtilityKind::MinMakespan(MinMakespan::default()));
-        let out =
-            Simulation::new(cluster, jobs, SimConfig::default()).run(HadarScheduler::new(cfg));
+        let out = Simulation::new(cluster, jobs, SimConfig::default())
+            .run(HadarScheduler::new(cfg))
+            .unwrap();
         assert_eq!(out.completed_jobs(), 8);
     }
 
@@ -284,8 +291,9 @@ mod tests {
             profiler: Some(ProfilerConfig::default()),
             ..HadarConfig::default()
         };
-        let out =
-            Simulation::new(cluster, jobs, SimConfig::default()).run(HadarScheduler::new(cfg));
+        let out = Simulation::new(cluster, jobs, SimConfig::default())
+            .run(HadarScheduler::new(cfg))
+            .unwrap();
         assert_eq!(out.completed_jobs(), 8);
     }
 
@@ -307,8 +315,9 @@ mod tests {
             penalty: PreemptionPenalty::None,
             ..SimConfig::default()
         };
-        let out =
-            Simulation::new(cluster, jobs, cfg).run(HadarScheduler::new(HadarConfig::default()));
+        let out = Simulation::new(cluster, jobs, cfg)
+            .run(HadarScheduler::new(HadarConfig::default()))
+            .unwrap();
         assert_eq!(out.completed_jobs(), 2);
         // The ResNet-50 run on the V100 completes at its V100-speed time
         // (within round quantization):

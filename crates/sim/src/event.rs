@@ -6,7 +6,7 @@
 //! supports post-hoc analysis (queuing breakdowns, migration traces) and
 //! gives tests a precise ordering oracle.
 
-use hadar_cluster::JobId;
+use hadar_cluster::{JobId, MachineId};
 
 /// One lifecycle event. Times are simulation seconds; events are appended
 /// in non-decreasing time order (ties ordered by processing order within a
@@ -56,6 +56,31 @@ pub enum SimEvent {
         /// The job.
         job: JobId,
     },
+    /// A machine went down (see [`crate::FailureModel`]).
+    MachineFailed {
+        /// Round start time.
+        time: f64,
+        /// The machine.
+        machine: MachineId,
+    },
+    /// A failed machine came back.
+    MachineRecovered {
+        /// Round start time.
+        time: f64,
+        /// The machine.
+        machine: MachineId,
+    },
+    /// A running job was forcibly preempted because one of its machines
+    /// failed; the round's progress (work since the last round-boundary
+    /// checkpoint) is lost and re-placement pays the restore penalty.
+    JobEvicted {
+        /// Round start time.
+        time: f64,
+        /// The job.
+        job: JobId,
+        /// The failed machine that triggered the eviction.
+        machine: MachineId,
+    },
 }
 
 impl SimEvent {
@@ -66,18 +91,24 @@ impl SimEvent {
             | SimEvent::Started { time, .. }
             | SimEvent::Migrated { time, .. }
             | SimEvent::Preempted { time, .. }
-            | SimEvent::Completed { time, .. } => time,
+            | SimEvent::Completed { time, .. }
+            | SimEvent::MachineFailed { time, .. }
+            | SimEvent::MachineRecovered { time, .. }
+            | SimEvent::JobEvicted { time, .. } => time,
         }
     }
 
-    /// The job the event concerns.
-    pub fn job(&self) -> JobId {
+    /// The job the event concerns, if any (machine failure/recovery events
+    /// concern no job).
+    pub fn job(&self) -> Option<JobId> {
         match *self {
             SimEvent::Arrival { job, .. }
             | SimEvent::Started { job, .. }
             | SimEvent::Migrated { job, .. }
             | SimEvent::Preempted { job, .. }
-            | SimEvent::Completed { job, .. } => job,
+            | SimEvent::Completed { job, .. }
+            | SimEvent::JobEvicted { job, .. } => Some(job),
+            SimEvent::MachineFailed { .. } | SimEvent::MachineRecovered { .. } => None,
         }
     }
 }
@@ -103,7 +134,9 @@ pub fn check_lifecycle(events: &[SimEvent], num_jobs: usize) -> Result<(), Strin
             return Err(format!("time went backwards at {e:?}"));
         }
         last_time = last_time.max(t);
-        let j = e.job().index();
+        // Machine events carry no job; only the time ordering applies.
+        let Some(job) = e.job() else { continue };
+        let j = job.index();
         if j >= num_jobs {
             return Err(format!("unknown job in {e:?}"));
         }
@@ -113,15 +146,24 @@ pub fn check_lifecycle(events: &[SimEvent], num_jobs: usize) -> Result<(), Strin
             (SimEvent::Arrival { .. }, _) => return Err(format!("duplicate arrival: {e:?}")),
             (SimEvent::Started { .. }, Phase::Queued) => Phase::Started,
             (SimEvent::Started { .. }, _) => return Err(format!("start out of order: {e:?}")),
-            (SimEvent::Migrated { .. } | SimEvent::Preempted { .. }, Phase::Started) => {
-                Phase::Started
-            }
-            (SimEvent::Migrated { .. } | SimEvent::Preempted { .. }, _) => {
-                return Err(format!("move/preempt before start: {e:?}"))
-            }
+            (
+                SimEvent::Migrated { .. }
+                | SimEvent::Preempted { .. }
+                | SimEvent::JobEvicted { .. },
+                Phase::Started,
+            ) => Phase::Started,
+            (
+                SimEvent::Migrated { .. }
+                | SimEvent::Preempted { .. }
+                | SimEvent::JobEvicted { .. },
+                _,
+            ) => return Err(format!("move/preempt before start: {e:?}")),
             (SimEvent::Completed { .. }, Phase::Started) => Phase::Done,
             (SimEvent::Completed { .. }, _) => {
                 return Err(format!("completion out of order: {e:?}"))
+            }
+            (SimEvent::MachineFailed { .. } | SimEvent::MachineRecovered { .. }, _) => {
+                unreachable!("machine events have no job")
             }
         };
     }
@@ -143,7 +185,67 @@ mod tests {
             job: j(3),
         };
         assert_eq!(e.time(), 42.0);
-        assert_eq!(e.job(), j(3));
+        assert_eq!(e.job(), Some(j(3)));
+        let m = SimEvent::MachineFailed {
+            time: 7.0,
+            machine: MachineId(2),
+        };
+        assert_eq!(m.time(), 7.0);
+        assert_eq!(m.job(), None);
+    }
+
+    #[test]
+    fn failure_events_in_lifecycle() {
+        let log = vec![
+            SimEvent::Arrival {
+                time: 0.0,
+                job: j(0),
+            },
+            SimEvent::Started {
+                time: 0.0,
+                job: j(0),
+                workers: 2,
+                machines: 1,
+            },
+            SimEvent::MachineFailed {
+                time: 360.0,
+                machine: MachineId(0),
+            },
+            SimEvent::JobEvicted {
+                time: 360.0,
+                job: j(0),
+                machine: MachineId(0),
+            },
+            SimEvent::Migrated {
+                time: 360.0,
+                job: j(0),
+                machines: 1,
+            },
+            SimEvent::MachineRecovered {
+                time: 720.0,
+                machine: MachineId(0),
+            },
+            SimEvent::Completed {
+                time: 900.0,
+                job: j(0),
+            },
+        ];
+        assert_eq!(check_lifecycle(&log, 1), Ok(()));
+        // Eviction before a start is a violation like any preemption.
+        let bad = vec![
+            SimEvent::Arrival {
+                time: 0.0,
+                job: j(0),
+            },
+            SimEvent::JobEvicted {
+                time: 0.0,
+                job: j(0),
+                machine: MachineId(0),
+            },
+        ];
+        assert!(check_lifecycle(&bad, 1)
+            .unwrap_err()
+            .contains("before start"));
     }
 
     #[test]

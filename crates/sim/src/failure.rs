@@ -1,0 +1,290 @@
+//! Machine failure injection.
+//!
+//! Whole-machine crashes are the dominant disruption in production DL
+//! clusters (the Philly trace our workload model is calibrated against is
+//! full of them), and Gavel-style evaluations judge policies under dynamic
+//! GPU availability. The model here mirrors the straggler process
+//! ([`crate::StragglerModel`]) but takes the machine *all the way down*: a
+//! healthy machine fails with probability `1 / mtbf_rounds` per round and
+//! comes back after a geometrically distributed repair time with mean
+//! `mttr_rounds`. Evolution is driven by a dedicated seeded RNG (distinct
+//! stream from the straggler RNG), so runs stay fully deterministic.
+//!
+//! The engine folds the resulting [`Availability`] mask into the per-round
+//! scheduler context: down machines report factor 0.0 in
+//! [`crate::SchedulerContext::machine_factors`], jobs placed on them are
+//! forcibly evicted (losing the failed round's progress — work since the
+//! last round-boundary checkpoint), and re-placement pays the usual
+//! checkpoint-restore penalty.
+
+use hadar_cluster::{Availability, MachineId};
+use hadar_rng::{Rng, StdRng};
+
+/// Domain-separation constant XORed into the failure RNG seed so the
+/// failure stream is independent of the straggler stream even under equal
+/// seeds.
+const FAILURE_SEED_SALT: u64 = 0x4661_696C_4D61_6368; // "FailMach"
+
+/// Parameters of the per-machine failure process.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FailureModel {
+    /// Mean time between failures, in rounds (per machine; failure
+    /// probability per healthy round is `1 / mtbf_rounds`).
+    pub mtbf_rounds: f64,
+    /// Mean time to repair, in rounds (geometric, at least one round).
+    pub mttr_rounds: f64,
+    /// Seed for the failure RNG (independent of trace and straggler seeds).
+    pub seed: u64,
+}
+
+impl Default for FailureModel {
+    fn default() -> Self {
+        Self {
+            // 240 six-minute rounds = one failure per machine-day.
+            mtbf_rounds: 240.0,
+            // 10 rounds = one hour of repair.
+            mttr_rounds: 10.0,
+            seed: 0,
+        }
+    }
+}
+
+impl FailureModel {
+    /// Check the parameters, returning a description of the first problem.
+    pub fn validate(&self) -> Result<(), String> {
+        if !self.mtbf_rounds.is_finite() || self.mtbf_rounds < 1.0 {
+            return Err(format!(
+                "mtbf_rounds must be finite and >= 1 (got {})",
+                self.mtbf_rounds
+            ));
+        }
+        if !self.mttr_rounds.is_finite() || self.mttr_rounds < 1.0 {
+            return Err(format!(
+                "mttr_rounds must be finite and >= 1 (got {})",
+                self.mttr_rounds
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Machines that changed state in one round.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FailureTransitions {
+    /// Machines that went down this round, in id order.
+    pub failed: Vec<MachineId>,
+    /// Machines that came back this round, in id order.
+    pub recovered: Vec<MachineId>,
+}
+
+/// Evolving failure state for a cluster of `num_machines` machines.
+#[derive(Debug, Clone)]
+pub struct FailureState {
+    model: Option<FailureModel>,
+    rng: StdRng,
+    /// Remaining repair rounds per machine (0 = up).
+    remaining: Vec<u32>,
+    availability: Availability,
+}
+
+impl FailureState {
+    /// Create the state; `model = None` disables injection (everything up).
+    ///
+    /// Parameters are assumed valid — the engine checks
+    /// [`FailureModel::validate`] via `SimConfig` before construction.
+    pub fn new(model: Option<FailureModel>, num_machines: usize) -> Self {
+        let seed = model.map_or(0, |m| m.seed);
+        Self {
+            model,
+            rng: StdRng::seed_from_u64(seed ^ FAILURE_SEED_SALT),
+            remaining: vec![0; num_machines],
+            availability: Availability::all_up(num_machines),
+        }
+    }
+
+    /// Advance one round; returns the machines that failed or recovered.
+    pub fn step(&mut self) -> FailureTransitions {
+        let mut transitions = FailureTransitions::default();
+        let Some(model) = self.model else {
+            return transitions;
+        };
+        let p_fail = 1.0 / model.mtbf_rounds;
+        for (i, left) in self.remaining.iter_mut().enumerate() {
+            let h = MachineId(i as u32);
+            if *left > 0 {
+                *left -= 1;
+                if *left == 0 {
+                    self.availability.set(h, true);
+                    transitions.recovered.push(h);
+                }
+            } else if self.rng.gen_f64() < p_fail {
+                // Geometric repair duration with the configured mean, at
+                // least one round (same construction as the straggler model).
+                let p = 1.0 / model.mttr_rounds;
+                let u: f64 = self.rng.gen_f64().max(f64::MIN_POSITIVE);
+                let dur = ((u.ln() / (1.0 - p).ln()).ceil()).max(1.0) as u32;
+                *left = dur;
+                self.availability.set(h, false);
+                transitions.failed.push(h);
+            }
+        }
+        transitions
+    }
+
+    /// Current availability mask (without advancing).
+    pub fn availability(&self) -> &Availability {
+        &self.availability
+    }
+
+    /// Number of machines currently down.
+    pub fn num_down(&self) -> usize {
+        self.availability.num_down()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_model_keeps_everything_up() {
+        let mut s = FailureState::new(None, 6);
+        for _ in 0..20 {
+            let t = s.step();
+            assert!(t.failed.is_empty() && t.recovered.is_empty());
+        }
+        assert_eq!(s.num_down(), 0);
+        assert!(!s.availability().any_down());
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let model = FailureModel {
+            mtbf_rounds: 4.0,
+            mttr_rounds: 2.0,
+            seed: 0,
+        };
+        let run = |seed: u64| -> Vec<usize> {
+            let mut s = FailureState::new(Some(FailureModel { seed, ..model }), 8);
+            (0..100)
+                .map(|_| {
+                    s.step();
+                    s.num_down()
+                })
+                .collect()
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    fn failure_stream_differs_from_straggler_stream() {
+        // Equal seeds must not produce correlated processes: the salt
+        // separates the two RNG domains.
+        let mut f = FailureState::new(
+            Some(FailureModel {
+                mtbf_rounds: 2.0,
+                mttr_rounds: 1.0,
+                seed: 42,
+            }),
+            16,
+        );
+        let mut g = crate::straggler::StragglerState::new(
+            Some(crate::StragglerModel {
+                incidence: 0.5,
+                slowdown: 0.5,
+                mean_duration_rounds: 1.0,
+                seed: 42,
+            }),
+            16,
+        );
+        let downs: Vec<usize> = (0..50)
+            .map(|_| {
+                f.step();
+                f.num_down()
+            })
+            .collect();
+        let slows: Vec<usize> = (0..50)
+            .map(|_| {
+                g.step();
+                g.num_straggling()
+            })
+            .collect();
+        assert_ne!(downs, slows);
+    }
+
+    #[test]
+    fn machines_fail_and_recover() {
+        let mut s = FailureState::new(
+            Some(FailureModel {
+                mtbf_rounds: 3.0,
+                mttr_rounds: 2.0,
+                seed: 5,
+            }),
+            8,
+        );
+        let mut saw_failure = false;
+        let mut saw_recovery = false;
+        for _ in 0..200 {
+            let t = s.step();
+            if !t.failed.is_empty() {
+                saw_failure = true;
+                for h in &t.failed {
+                    assert!(!s.availability().is_up(*h));
+                }
+            }
+            if !t.recovered.is_empty() {
+                saw_recovery = true;
+                for h in &t.recovered {
+                    assert!(s.availability().is_up(*h));
+                }
+            }
+            assert_eq!(s.num_down(), s.availability().num_down());
+        }
+        assert!(saw_failure, "no failure in 200 rounds at mtbf=3");
+        assert!(saw_recovery, "no recovery in 200 rounds at mttr=2");
+    }
+
+    #[test]
+    fn downtime_fraction_roughly_matches_theory() {
+        // Steady-state unavailability ≈ MTTR / (MTBF + MTTR).
+        let mtbf = 10.0;
+        let mttr = 5.0;
+        let mut s = FailureState::new(
+            Some(FailureModel {
+                mtbf_rounds: mtbf,
+                mttr_rounds: mttr,
+                seed: 11,
+            }),
+            1,
+        );
+        let rounds = 50_000;
+        let mut down = 0usize;
+        for _ in 0..rounds {
+            s.step();
+            down += s.num_down();
+        }
+        let frac = down as f64 / rounds as f64;
+        let expect = mttr / (mtbf + mttr);
+        assert!((frac - expect).abs() < 0.05, "fraction {frac} vs {expect}");
+    }
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        assert!(FailureModel {
+            mtbf_rounds: 0.5,
+            ..FailureModel::default()
+        }
+        .validate()
+        .unwrap_err()
+        .contains("mtbf"));
+        assert!(FailureModel {
+            mttr_rounds: f64::NAN,
+            ..FailureModel::default()
+        }
+        .validate()
+        .unwrap_err()
+        .contains("mttr"));
+        assert!(FailureModel::default().validate().is_ok());
+    }
+}

@@ -55,14 +55,18 @@
 //!     &TraceConfig { num_jobs: 4, seed: 0, pattern: ArrivalPattern::Static },
 //!     cluster.catalog(),
 //! );
-//! let out = Simulation::new(cluster, jobs, SimConfig::default()).run(Greedy);
+//! let out = Simulation::new(cluster, jobs, SimConfig::default())
+//!     .run(Greedy)
+//!     .expect("valid policy and config");
 //! assert_eq!(out.completed_jobs(), 4);
 //! assert!(hadar_sim::check_lifecycle(out.events(), 4).is_ok());
 //! ```
 
 pub mod checkpoint;
 pub mod engine;
+pub mod error;
 pub mod event;
+pub mod failure;
 pub mod runner;
 pub mod scheduler;
 pub mod stats;
@@ -70,7 +74,9 @@ pub mod straggler;
 
 pub use checkpoint::{CheckpointModel, PreemptionPenalty};
 pub use engine::{job_rate, job_rate_full, job_rate_with, SimConfig, Simulation};
+pub use error::{SimError, SimResult};
 pub use event::{check_lifecycle, SimEvent};
+pub use failure::{FailureModel, FailureState, FailureTransitions};
 pub use runner::{run_parallel, CellResult, SweepRunner};
 pub use scheduler::{JobState, Scheduler, SchedulerContext};
 pub use stats::{JobRecord, RoundRecord, SimOutcome};

@@ -4,8 +4,13 @@
 //! comparisons) run many independent simulation *cells*; the [`SweepRunner`]
 //! fans them out over a scoped OS-thread pool (`std::thread::scope`, so
 //! borrowed configuration can be captured without `'static` bounds),
-//! collects every [`SimOutcome`] in deterministic cell order, and reports
-//! per-cell wall-clock time.
+//! collects every cell's [`SimResult`] in deterministic cell order, and
+//! reports per-cell wall-clock time.
+//!
+//! Cells are fallible: an invalid configuration or a policy bug surfaces as
+//! a [`SimError`] row for that cell, and a cell that *panics* is caught and
+//! degraded into [`SimError::CellPanicked`] — one bad cell no longer kills
+//! every worker of a `--threads N` sweep.
 //!
 //! With `threads == 1` the runner degrades to a strict serial loop on the
 //! caller's thread — the reference path. Because each cell is an
@@ -13,18 +18,20 @@
 //! index, the parallel path produces identical outcomes (and therefore
 //! byte-identical result CSVs) to the serial one; only wall-clock differs.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
+use crate::error::{SimError, SimResult};
 use crate::stats::SimOutcome;
 
-/// One completed sweep cell: the simulation outcome plus how long the cell
-/// took to execute on its worker thread.
+/// One completed sweep cell: the simulation result (outcome or structured
+/// error) plus how long the cell took to execute on its worker thread.
 #[derive(Debug, Clone)]
 pub struct CellResult {
-    /// The simulation outcome.
-    pub outcome: SimOutcome,
+    /// The simulation outcome, or the error that degraded this cell.
+    pub outcome: SimResult,
     /// Wall-clock seconds the cell spent executing (excludes queueing).
     pub wall_seconds: f64,
 }
@@ -80,14 +87,19 @@ impl SweepRunner {
     /// Execute every cell and return the timed results in cell order.
     ///
     /// Cells are closures so callers can capture per-cell configuration
-    /// (scheduler, seed, arrival pattern, round length) by move.
+    /// (scheduler, seed, arrival pattern, round length) by move. A cell
+    /// returning `Err` — or panicking — degrades into an error result for
+    /// that cell only; all other cells still complete.
     pub fn run<F>(&self, cells: Vec<F>) -> Vec<CellResult>
     where
-        F: FnOnce() -> SimOutcome + Send,
+        F: FnOnce() -> SimResult + Send,
     {
         let execute = |cell: F| {
             let start = Instant::now();
-            let outcome = cell();
+            let outcome = match catch_unwind(AssertUnwindSafe(cell)) {
+                Ok(result) => result,
+                Err(payload) => Err(SimError::CellPanicked(panic_message(payload))),
+            };
             CellResult {
                 outcome,
                 wall_seconds: start.elapsed().as_secs_f64(),
@@ -140,21 +152,44 @@ impl SweepRunner {
     }
 
     /// Execute every cell and return just the outcomes in cell order.
+    ///
+    /// # Panics
+    /// Panics if any cell fails — use [`SweepRunner::run`] when errors
+    /// should degrade gracefully.
     pub fn run_outcomes<F>(&self, cells: Vec<F>) -> Vec<SimOutcome>
     where
-        F: FnOnce() -> SimOutcome + Send,
+        F: FnOnce() -> SimResult + Send,
     {
-        self.run(cells).into_iter().map(|c| c.outcome).collect()
+        self.run(cells)
+            .into_iter()
+            .map(|c| {
+                c.outcome
+                    .unwrap_or_else(|e| panic!("sweep cell failed: {e}"))
+            })
+            .collect()
     }
 }
 
-/// Run `tasks` (each producing one [`SimOutcome`]) across up to
+/// Render a panic payload as a message (the common `&str` / `String`
+/// payloads verbatim, anything else a placeholder).
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+/// Run `tasks` (each producing one [`SimResult`]) across up to
 /// `max_threads` worker threads, preserving input order in the result.
 ///
-/// Compatibility shim over [`SweepRunner::run_outcomes`].
+/// Compatibility shim over [`SweepRunner::run_outcomes`]; panics if any
+/// cell fails.
 pub fn run_parallel<F>(tasks: Vec<F>, max_threads: usize) -> Vec<SimOutcome>
 where
-    F: FnOnce() -> SimOutcome + Send,
+    F: FnOnce() -> SimResult + Send,
 {
     SweepRunner::new(max_threads).run_outcomes(tasks)
 }
@@ -164,7 +199,7 @@ mod tests {
     use super::*;
     use crate::engine::{SimConfig, Simulation};
     use crate::scheduler::{Scheduler, SchedulerContext};
-    use hadar_cluster::{Allocation, Cluster, JobPlacement, MachineId};
+    use hadar_cluster::{Allocation, Cluster, GpuTypeId, JobPlacement, MachineId};
     use hadar_workload::{Job, JobId};
 
     struct Fifo;
@@ -189,7 +224,7 @@ mod tests {
         }
     }
 
-    fn one_sim(epochs: u64) -> SimOutcome {
+    fn one_sim(epochs: u64) -> SimResult {
         let cluster = Cluster::paper_simulation();
         let jobs = vec![Job::for_model(
             JobId(0),
@@ -204,8 +239,8 @@ mod tests {
 
     #[test]
     fn parallel_results_preserve_order() {
-        let tasks: Vec<Box<dyn FnOnce() -> SimOutcome + Send>> = (1..=6)
-            .map(|i| Box::new(move || one_sim(i * 50)) as Box<dyn FnOnce() -> SimOutcome + Send>)
+        let tasks: Vec<Box<dyn FnOnce() -> SimResult + Send>> = (1..=6)
+            .map(|i| Box::new(move || one_sim(i * 50)) as Box<dyn FnOnce() -> SimResult + Send>)
             .collect();
         let out = run_parallel(tasks, 3);
         assert_eq!(out.len(), 6);
@@ -217,26 +252,26 @@ mod tests {
 
     #[test]
     fn empty_task_list() {
-        let tasks: Vec<Box<dyn FnOnce() -> SimOutcome + Send>> = Vec::new();
+        let tasks: Vec<Box<dyn FnOnce() -> SimResult + Send>> = Vec::new();
         assert!(run_parallel(tasks, 4).is_empty());
     }
 
     #[test]
     fn single_thread_works() {
-        let tasks: Vec<Box<dyn FnOnce() -> SimOutcome + Send>> = vec![Box::new(|| one_sim(10))];
+        let tasks: Vec<Box<dyn FnOnce() -> SimResult + Send>> = vec![Box::new(|| one_sim(10))];
         let out = run_parallel(tasks, 1);
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].completed_jobs(), 1);
     }
 
     fn cell_jcts(runner: &SweepRunner) -> Vec<Vec<f64>> {
-        let cells: Vec<Box<dyn FnOnce() -> SimOutcome + Send>> = (1..=8)
-            .map(|i| Box::new(move || one_sim(i * 25)) as Box<dyn FnOnce() -> SimOutcome + Send>)
+        let cells: Vec<Box<dyn FnOnce() -> SimResult + Send>> = (1..=8)
+            .map(|i| Box::new(move || one_sim(i * 25)) as Box<dyn FnOnce() -> SimResult + Send>)
             .collect();
         runner
             .run(cells)
             .into_iter()
-            .map(|c| c.outcome.jcts())
+            .map(|c| c.outcome.unwrap().jcts())
             .collect()
     }
 
@@ -256,11 +291,81 @@ mod tests {
 
     #[test]
     fn cells_report_wall_clock() {
-        let cells: Vec<Box<dyn FnOnce() -> SimOutcome + Send>> = vec![Box::new(|| one_sim(100))];
+        let cells: Vec<Box<dyn FnOnce() -> SimResult + Send>> = vec![Box::new(|| one_sim(100))];
         let res = SweepRunner::new(2).run(cells);
         assert_eq!(res.len(), 1);
         assert!(res[0].wall_seconds >= 0.0);
         assert!(res[0].wall_seconds.is_finite());
+    }
+
+    /// A policy that over-allocates machine 0 — an invalid allocation the
+    /// engine must turn into a [`SimError`], not a panic.
+    struct OverAllocator;
+    impl Scheduler for OverAllocator {
+        fn name(&self) -> &str {
+            "Over"
+        }
+        fn schedule(&mut self, ctx: &SchedulerContext<'_>) -> Allocation {
+            let mut a = Allocation::empty();
+            for s in ctx.jobs {
+                a.set(
+                    s.job.id,
+                    JobPlacement::single(MachineId(0), GpuTypeId(0), 99),
+                );
+            }
+            a
+        }
+    }
+
+    fn bad_cell() -> SimResult {
+        let cluster = Cluster::paper_simulation();
+        let jobs = vec![Job::for_model(
+            JobId(0),
+            hadar_workload::DlTask::ResNet18,
+            cluster.catalog(),
+            0.0,
+            99,
+            10,
+        )];
+        Simulation::new(cluster, jobs, SimConfig::default()).run(OverAllocator)
+    }
+
+    #[test]
+    fn invalid_allocation_degrades_one_cell_not_the_sweep() {
+        for threads in [1, 4] {
+            let cells: Vec<Box<dyn FnOnce() -> SimResult + Send>> = vec![
+                Box::new(|| one_sim(10)),
+                Box::new(bad_cell),
+                Box::new(|| one_sim(20)),
+                Box::new(|| one_sim(30)),
+            ];
+            let res = SweepRunner::new(threads).run(cells);
+            assert_eq!(res.len(), 4);
+            assert!(res[0].outcome.is_ok());
+            assert!(res[2].outcome.is_ok());
+            assert!(res[3].outcome.is_ok());
+            match res[1].outcome.as_ref().unwrap_err() {
+                SimError::InvalidAllocation { scheduler, .. } => assert_eq!(scheduler, "Over"),
+                other => panic!("expected InvalidAllocation, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn panicking_cell_degrades_into_error() {
+        let cells: Vec<Box<dyn FnOnce() -> SimResult + Send>> = vec![
+            Box::new(|| one_sim(10)),
+            Box::new(|| panic!("cell exploded")),
+            Box::new(|| one_sim(20)),
+        ];
+        let res = SweepRunner::new(2).run(cells);
+        assert_eq!(res.len(), 3);
+        assert!(res[0].outcome.is_ok());
+        assert!(res[2].outcome.is_ok());
+        match res[1].outcome.as_ref().unwrap_err() {
+            SimError::CellPanicked(msg) => assert!(msg.contains("exploded"), "{msg}"),
+            other => panic!("expected CellPanicked, got {other:?}"),
+        }
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! The scheduler interface every policy implements (Hadar, Gavel, Tiresias,
 //! YARN-CS, and any user-defined policy).
 
-use hadar_cluster::{Allocation, Cluster, CommCostModel, JobPlacement};
+use hadar_cluster::{Allocation, Availability, Cluster, CommCostModel, JobPlacement};
 use hadar_workload::Job;
 
 /// The simulator-maintained state of one job visible to schedulers.
@@ -19,6 +19,11 @@ pub struct JobState {
     pub service_seconds: f64,
     /// Time the job first received an allocation, if ever.
     pub first_scheduled: Option<f64>,
+    /// Iterations completed in the most recent round (0 while idle). When a
+    /// machine fails, jobs it hosted lose the work since their last
+    /// round-boundary checkpoint — the engine rolls this amount back onto
+    /// `remaining_iters`.
+    pub last_round_iters: f64,
 }
 
 impl JobState {
@@ -31,6 +36,7 @@ impl JobState {
             placement: JobPlacement::empty(),
             service_seconds: 0.0,
             first_scheduled: None,
+            last_round_iters: 0.0,
         }
     }
 
@@ -59,22 +65,32 @@ pub struct SchedulerContext<'a> {
     /// The communication cost model in effect.
     pub comm: &'a CommCostModel,
     /// Per-machine throughput factors this round (1.0 = healthy; < 1.0 =
-    /// straggling, see [`crate::StragglerModel`]). May be empty when
-    /// injection is disabled.
+    /// straggling, see [`crate::StragglerModel`]; 0.0 = down, see
+    /// [`crate::FailureModel`]). May be empty when injection is disabled.
     pub machine_factors: &'a [f64],
+    /// Per-machine up/down mask this round (see [`crate::FailureModel`]).
+    /// Down machines must not be placed on; the engine strips any placement
+    /// that touches one, so the job loses the round.
+    pub availability: &'a Availability,
 }
 
 impl SchedulerContext<'_> {
     /// Convenience: per-type total free capacity if nothing were allocated
-    /// this round (i.e. the full cluster — round-based schedulers place from
-    /// scratch each round).
+    /// this round (i.e. the full cluster minus failed machines —
+    /// round-based schedulers place from scratch each round).
     pub fn capacity_of(&self, r: hadar_cluster::GpuTypeId) -> u32 {
-        self.cluster.total_of_type(r)
+        self.availability.available_of_type(self.cluster, r)
     }
 
-    /// The straggler factor of machine `h` (1.0 when injection is disabled).
+    /// The throughput factor of machine `h` (1.0 when injection is
+    /// disabled, 0.0 while the machine is down).
     pub fn machine_factor(&self, h: hadar_cluster::MachineId) -> f64 {
         self.machine_factors.get(h.index()).copied().unwrap_or(1.0)
+    }
+
+    /// Whether machine `h` is up this round.
+    pub fn is_up(&self, h: hadar_cluster::MachineId) -> bool {
+        self.availability.is_up(h)
     }
 }
 
@@ -83,8 +99,8 @@ impl SchedulerContext<'_> {
 /// The simulator calls [`Scheduler::schedule`] once per round; the returned
 /// allocation fully replaces the previous round's (jobs absent from it are
 /// preempted). Implementations must respect capacity and gang constraints —
-/// the engine validates and panics on violations, treating them as policy
-/// bugs.
+/// the engine validates every allocation and fails the run with a
+/// [`crate::SimError`] on violations, treating them as policy bugs.
 pub trait Scheduler {
     /// Display name used in reports ("Hadar", "Gavel", …).
     fn name(&self) -> &str;

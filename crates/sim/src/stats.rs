@@ -265,6 +265,61 @@ impl SimOutcome {
             self.records.len(),
         )
     }
+
+    /// End of simulated time: the start of the last round plus one round
+    /// length (0 if no round ran).
+    fn sim_end(&self) -> f64 {
+        self.rounds
+            .last()
+            .map_or(0.0, |r| r.time + self.round_length)
+    }
+
+    /// Number of forced evictions: jobs kicked off a machine because it
+    /// failed (see [`crate::FailureModel`]).
+    pub fn evictions(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, SimEvent::JobEvicted { .. }))
+            .count()
+    }
+
+    /// Number of machine-failure events over the run.
+    pub fn machine_failures(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, SimEvent::MachineFailed { .. }))
+            .count()
+    }
+
+    /// GPU-seconds of capacity lost to machine downtime: for every failure
+    /// interval (failure → recovery, or failure → end of run), the interval
+    /// length times the failed machine's GPU count.
+    pub fn lost_gpu_seconds(&self) -> f64 {
+        let machine_gpus = |m: hadar_cluster::MachineId| -> f64 {
+            self.cluster.machine(m).capacities().iter().sum::<u32>() as f64
+        };
+        let mut down_since: std::collections::HashMap<hadar_cluster::MachineId, f64> =
+            std::collections::HashMap::new();
+        let mut lost = 0.0;
+        for e in &self.events {
+            match *e {
+                SimEvent::MachineFailed { time, machine } => {
+                    down_since.entry(machine).or_insert(time);
+                }
+                SimEvent::MachineRecovered { time, machine } => {
+                    if let Some(start) = down_since.remove(&machine) {
+                        lost += (time - start) * machine_gpus(machine);
+                    }
+                }
+                _ => {}
+            }
+        }
+        let end = self.sim_end();
+        for (machine, start) in down_since {
+            lost += (end - start).max(0.0) * machine_gpus(machine);
+        }
+        lost
+    }
 }
 
 #[cfg(test)]
@@ -371,5 +426,68 @@ mod tests {
     #[test]
     fn decision_time_mean() {
         assert!((outcome().mean_decision_seconds() - 0.002).abs() < 1e-12);
+    }
+
+    #[test]
+    fn failure_stats_derived_from_events() {
+        use hadar_cluster::MachineId;
+        let base = outcome();
+        assert_eq!(base.evictions(), 0);
+        assert_eq!(base.machine_failures(), 0);
+        assert_eq!(base.lost_gpu_seconds(), 0.0);
+
+        let cluster = Cluster::paper_simulation(); // machines have 4 GPUs
+        let events = vec![
+            SimEvent::MachineFailed {
+                time: 0.0,
+                machine: MachineId(0),
+            },
+            SimEvent::JobEvicted {
+                time: 0.0,
+                job: JobId(0),
+                machine: MachineId(0),
+            },
+            SimEvent::MachineRecovered {
+                time: 360.0,
+                machine: MachineId(0),
+            },
+            SimEvent::MachineFailed {
+                time: 360.0,
+                machine: MachineId(1),
+            },
+        ];
+        let o = SimOutcome::new(
+            "Test".into(),
+            Vec::new(),
+            vec![
+                RoundRecord {
+                    time: 0.0,
+                    busy_gpu_seconds: 0.0,
+                    held_gpu_seconds: 0.0,
+                    decision_seconds: 0.0,
+                    reallocations: 0,
+                    running_jobs: 0,
+                    demand_gpus: 0,
+                },
+                RoundRecord {
+                    time: 360.0,
+                    busy_gpu_seconds: 0.0,
+                    held_gpu_seconds: 0.0,
+                    decision_seconds: 0.0,
+                    reallocations: 0,
+                    running_jobs: 0,
+                    demand_gpus: 0,
+                },
+            ],
+            360.0,
+            cluster,
+            false,
+            events,
+        );
+        assert_eq!(o.evictions(), 1);
+        assert_eq!(o.machine_failures(), 2);
+        // Machine 0 down [0, 360) and machine 1 down [360, end=720): each
+        // interval is 360 s × 4 GPUs.
+        assert!((o.lost_gpu_seconds() - 2.0 * 360.0 * 4.0).abs() < 1e-9);
     }
 }

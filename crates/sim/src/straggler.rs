@@ -45,16 +45,27 @@ impl Default for StragglerModel {
 }
 
 impl StragglerModel {
-    fn validate(&self) {
-        assert!(
-            (0.0..=1.0).contains(&self.incidence),
-            "incidence must be a probability"
-        );
-        assert!(
-            self.slowdown > 0.0 && self.slowdown <= 1.0,
-            "slowdown must be in (0, 1]"
-        );
-        assert!(self.mean_duration_rounds >= 1.0);
+    /// Check the parameters, returning a description of the first problem.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(0.0..=1.0).contains(&self.incidence) {
+            return Err(format!(
+                "incidence must be a probability (got {})",
+                self.incidence
+            ));
+        }
+        if !(self.slowdown > 0.0 && self.slowdown <= 1.0) {
+            return Err(format!(
+                "slowdown must be in (0, 1] (got {})",
+                self.slowdown
+            ));
+        }
+        if !self.mean_duration_rounds.is_finite() || self.mean_duration_rounds < 1.0 {
+            return Err(format!(
+                "mean_duration_rounds must be finite and >= 1 (got {})",
+                self.mean_duration_rounds
+            ));
+        }
+        Ok(())
     }
 }
 
@@ -70,10 +81,11 @@ pub struct StragglerState {
 
 impl StragglerState {
     /// Create the state; `model = None` disables injection (all factors 1).
+    ///
+    /// Parameters are assumed valid — the engine checks
+    /// [`StragglerModel::validate`] via `SimConfig` before construction, so
+    /// a bad sweep parameter surfaces as a `SimError`, not an abort.
     pub fn new(model: Option<StragglerModel>, num_machines: usize) -> Self {
-        if let Some(m) = &model {
-            m.validate();
-        }
         let seed = model.map_or(0, |m| m.seed);
         Self {
             model,
@@ -198,14 +210,21 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "slowdown")]
     fn invalid_slowdown_rejected() {
-        StragglerState::new(
-            Some(StragglerModel {
-                slowdown: 0.0,
-                ..StragglerModel::default()
-            }),
-            1,
-        );
+        let err = StragglerModel {
+            slowdown: 0.0,
+            ..StragglerModel::default()
+        }
+        .validate()
+        .unwrap_err();
+        assert!(err.contains("slowdown"), "{err}");
+        assert!(StragglerModel::default().validate().is_ok());
+        assert!(StragglerModel {
+            incidence: 1.5,
+            ..StragglerModel::default()
+        }
+        .validate()
+        .unwrap_err()
+        .contains("incidence"));
     }
 }

@@ -48,7 +48,9 @@ fn mean_jct_and_slo_hits(utility: UtilityKind, label: &str) -> (f64, usize) {
         cluster.catalog(),
     );
     let scheduler = HadarScheduler::new(HadarConfig::with_utility(utility));
-    let outcome = Simulation::new(cluster, trace, SimConfig::default()).run(scheduler);
+    let outcome = Simulation::new(cluster, trace, SimConfig::default())
+        .run(scheduler)
+        .expect("valid policy and config");
     assert_eq!(outcome.completed_jobs(), 40);
 
     let slo_hits = outcome

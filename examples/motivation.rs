@@ -48,7 +48,9 @@ fn run(name: &str, make: impl FnOnce() -> Box<dyn hadar::sim::Scheduler>) -> f64
         penalty: PreemptionPenalty::None,
         ..SimConfig::default()
     };
-    let outcome = Simulation::new(cluster, jobs, config).run(make());
+    let outcome = Simulation::new(cluster, jobs, config)
+        .run(make())
+        .expect("valid policy and config");
 
     println!("== {name} ==");
     for rec in &outcome.records {

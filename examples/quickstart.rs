@@ -28,7 +28,9 @@ fn main() {
 
     // 6-minute rounds, 10-second checkpoint-restart penalty (the paper's
     // simulation settings).
-    let outcome = Simulation::new(cluster, trace, SimConfig::default()).run(scheduler);
+    let outcome = Simulation::new(cluster, trace, SimConfig::default())
+        .run(scheduler)
+        .expect("valid policy and config");
 
     let jct = outcome.metrics();
     println!("completed jobs      : {}", outcome.completed_jobs());

@@ -42,8 +42,9 @@ fn main() {
     let mut cdf = CsvWriter::new(&["scheduler", "time_hours", "fraction_completed"]);
 
     for scheduler in schedulers {
-        let outcome =
-            Simulation::new(cluster.clone(), trace.clone(), SimConfig::default()).run(scheduler);
+        let outcome = Simulation::new(cluster.clone(), trace.clone(), SimConfig::default())
+            .run(scheduler)
+            .expect("valid policy and config");
         assert_eq!(outcome.completed_jobs(), num_jobs);
         let m = outcome.metrics();
         table.row(vec![

@@ -26,7 +26,9 @@ fn run(
         straggler,
         ..SimConfig::default()
     };
-    let out = Simulation::new(cluster, jobs, config).run(make());
+    let out = Simulation::new(cluster, jobs, config)
+        .run(make())
+        .expect("valid policy and config");
     assert_eq!(out.completed_jobs(), 40);
     println!(
         "  {name:<22} mean JCT {:>6.2} h | reallocations {:>4.1}% of job-rounds",

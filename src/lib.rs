@@ -23,7 +23,8 @@
 //! // Run Hadar on it.
 //! let scheduler = HadarScheduler::new(HadarConfig::default());
 //! let outcome = Simulation::new(cluster, trace, SimConfig::default())
-//!     .run(scheduler);
+//!     .run(scheduler)
+//!     .expect("valid policy and config");
 //! assert_eq!(outcome.completed_jobs(), 12);
 //! println!("avg JCT = {:.1}s", outcome.mean_jct());
 //! ```
@@ -45,7 +46,7 @@ pub mod prelude {
     };
     pub use hadar_core::{HadarConfig, HadarScheduler};
     pub use hadar_metrics::SummaryStats;
-    pub use hadar_sim::{SimConfig, SimOutcome, Simulation};
+    pub use hadar_sim::{FailureModel, SimConfig, SimError, SimOutcome, SimResult, Simulation};
     pub use hadar_workload::{
         generate_trace, ArrivalPattern, DlTask, Job, SizeClass, ThroughputProfile, TraceConfig,
     };

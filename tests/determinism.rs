@@ -28,7 +28,9 @@ fn run_seeded(seed: u64, make: &dyn Fn() -> Box<dyn Scheduler>) -> SimOutcome {
         },
         cluster.catalog(),
     );
-    Simulation::new(cluster, jobs, SimConfig::default()).run(make())
+    Simulation::new(cluster, jobs, SimConfig::default())
+        .run(make())
+        .unwrap()
 }
 
 type SchedulerFactory = Box<dyn Fn() -> Box<dyn Scheduler>>;
@@ -99,8 +101,10 @@ fn csv_roundtrip_preserves_simulation_results() {
     let csv = hadar::workload::save_trace_csv(&jobs);
     let reloaded = hadar::workload::load_trace_csv(&csv, cluster.catalog()).unwrap();
     let out_a = Simulation::new(cluster.clone(), jobs, SimConfig::default())
-        .run(HadarScheduler::new(HadarConfig::default()));
+        .run(HadarScheduler::new(HadarConfig::default()))
+        .unwrap();
     let out_b = Simulation::new(cluster, reloaded, SimConfig::default())
-        .run(HadarScheduler::new(HadarConfig::default()));
+        .run(HadarScheduler::new(HadarConfig::default()))
+        .unwrap();
     assert_eq!(outcome_fingerprint(&out_a), outcome_fingerprint(&out_b));
 }

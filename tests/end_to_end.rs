@@ -20,7 +20,9 @@ fn trace(n: usize, seed: u64, pattern: ArrivalPattern) -> (Cluster, Vec<Job>) {
 }
 
 fn run_with(cluster: Cluster, jobs: Vec<Job>, s: Box<dyn Scheduler>) -> SimOutcome {
-    Simulation::new(cluster, jobs, SimConfig::default()).run(s)
+    Simulation::new(cluster, jobs, SimConfig::default())
+        .run(s)
+        .expect("valid policy and config")
 }
 
 fn all_schedulers() -> Vec<Box<dyn Scheduler>> {
@@ -48,6 +50,48 @@ fn every_scheduler_completes_static_and_continuous_traces() {
             assert!((0.0..=1.0).contains(&u), "{name}: util {u}");
             assert!(out.ftf().mean > 0.0, "{name}");
         }
+    }
+}
+
+#[test]
+fn every_scheduler_survives_machine_failures_with_valid_lifecycles() {
+    // Fault injection across the whole policy suite: every event stream
+    // stays lifecycle-valid (evictions only on started jobs, machine events
+    // interleave consistently), every trace still completes, and the same
+    // failure seed reproduces the identical outcome.
+    let model = FailureModel {
+        mtbf_rounds: 25.0,
+        mttr_rounds: 4.0,
+        seed: 13,
+    };
+    let config = SimConfig {
+        failure: Some(model),
+        ..SimConfig::default()
+    };
+    for s in all_schedulers() {
+        let name = s.name().to_owned();
+        let (cluster, jobs) = trace(16, 5, ArrivalPattern::Static);
+        let n = jobs.len();
+        let out = Simulation::new(cluster, jobs, config)
+            .run(s)
+            .expect("valid policy and config");
+        assert_eq!(out.completed_jobs(), n, "{name}");
+        hadar::sim::check_lifecycle(out.events(), n).unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert!(
+            out.machine_failures() > 0,
+            "{name}: failure model never fired"
+        );
+    }
+    // Determinism under a fixed failure seed, across all schedulers.
+    for (a, b) in all_schedulers().into_iter().zip(all_schedulers()) {
+        let name = a.name().to_owned();
+        let run = |s: Box<dyn Scheduler>| {
+            let (cluster, jobs) = trace(16, 5, ArrivalPattern::Static);
+            Simulation::new(cluster, jobs, config).run(s).unwrap()
+        };
+        let (x, y) = (run(a), run(b));
+        assert_eq!(x.jcts(), y.jcts(), "{name}: JCTs diverged");
+        assert_eq!(x.evictions(), y.evictions(), "{name}: evictions diverged");
     }
 }
 
@@ -140,7 +184,9 @@ fn task_level_mixing_rescues_fragmented_cluster() {
         max_rounds: 50,
         ..SimConfig::default()
     };
-    let gavel = Simulation::new(cluster, vec![job], config).run(GavelScheduler::paper_default());
+    let gavel = Simulation::new(cluster, vec![job], config)
+        .run(GavelScheduler::paper_default())
+        .unwrap();
     assert_eq!(gavel.completed_jobs(), 0);
     assert!(gavel.timed_out);
 }
@@ -210,8 +256,12 @@ fn rack_topology_slows_cross_rack_gangs() {
         penalty: PreemptionPenalty::None,
         ..SimConfig::default()
     };
-    let same_rack = Simulation::new(build(), job(), config).run(Pin { machines: [0, 1] });
-    let cross_rack = Simulation::new(build(), job(), config).run(Pin { machines: [0, 2] });
+    let same_rack = Simulation::new(build(), job(), config)
+        .run(Pin { machines: [0, 1] })
+        .unwrap();
+    let cross_rack = Simulation::new(build(), job(), config)
+        .run(Pin { machines: [0, 2] })
+        .unwrap();
     let (a, b) = (
         same_rack.records[0].jct().unwrap(),
         cross_rack.records[0].jct().unwrap(),

@@ -17,6 +17,7 @@ fn run_with_utility(utility: UtilityKind, n: usize, seed: u64) -> SimOutcome {
     );
     Simulation::new(cluster, jobs, SimConfig::default())
         .run(HadarScheduler::new(HadarConfig::with_utility(utility)))
+        .unwrap()
 }
 
 #[test]

@@ -86,7 +86,9 @@ fn schedulers_complete_random_workloads() {
                 max_rounds: 500_000,
                 ..SimConfig::default()
             };
-            let out = Simulation::new(cluster.clone(), jobs.clone(), config).run(s);
+            let out = Simulation::new(cluster.clone(), jobs.clone(), config)
+                .run(s)
+                .unwrap();
             assert_eq!(out.completed_jobs(), jobs.len(), "case {case}: {name}");
             assert!(!out.timed_out, "case {case}: {name}");
             // Lifecycle oracle: arrivals/starts/migrations/completions in a
@@ -108,7 +110,8 @@ fn metric_domains_hold() {
         let specs = random_specs(&mut rng, 6);
         let jobs = materialize(&cluster, &specs);
         let out = Simulation::new(cluster, jobs, SimConfig::default())
-            .run(HadarScheduler::new(HadarConfig::default()));
+            .run(HadarScheduler::new(HadarConfig::default()))
+            .unwrap();
         for rec in &out.records {
             let jct = rec.jct().expect("completed");
             assert!(
@@ -145,7 +148,8 @@ fn gpu_second_accounting() {
         let jobs = materialize(&cluster, &specs);
         let total = cluster.total_gpus() as f64;
         let out = Simulation::new(cluster, jobs, SimConfig::default())
-            .run(TiresiasScheduler::paper_default());
+            .run(TiresiasScheduler::paper_default())
+            .unwrap();
         for round in &out.rounds {
             assert!(
                 round.busy_gpu_seconds <= round.held_gpu_seconds + 1e-6,
@@ -182,6 +186,7 @@ fn straggler_injection_is_safe_and_deterministic() {
         let run = || {
             Simulation::new(cluster.clone(), jobs.clone(), config)
                 .run(HadarScheduler::new(HadarConfig::default()))
+                .unwrap()
         };
         let (a, b) = (run(), run());
         assert_eq!(a.completed_jobs(), jobs.len(), "case {case}");
@@ -219,6 +224,7 @@ fn rack_topology_is_a_pure_penalty() {
         let run = |cluster: Cluster| {
             Simulation::new(cluster, jobs.clone(), SimConfig::default())
                 .run(HadarScheduler::new(HadarConfig::default()))
+                .unwrap()
         };
         let (f, r) = (run(flat), run(racked));
         assert_eq!(f.completed_jobs(), jobs.len(), "case {case}");
