@@ -1,0 +1,224 @@
+//! Round-path benchmark: one large Hadar simulation, serial vs parallel vs
+//! incremental.
+//!
+//! Three configurations run the *same* simulation (identical trace, cluster,
+//! and round cap) and must produce bit-identical job outcomes:
+//!
+//! * **serial** — one candidate-generation worker, cross-round cache off:
+//!   the pre-optimization baseline round path,
+//! * **parallel** — auto worker count (`HADAR_ROUND_THREADS` or the machine
+//!   parallelism), cross-round cache off: isolates the intra-round
+//!   candidate-prefetch speedup,
+//! * **incremental** — auto workers plus the cross-round candidate cache:
+//!   the full optimized path, where quiescent rounds reuse the previous
+//!   round's class geometries and decisions.
+//!
+//! Results are printed and recorded in `BENCH_round.json` (override the
+//! path with `HADAR_BENCH_OUT`); CI runs `--quick` and uploads the file as
+//! an artifact. Usage: `cargo run --release --bin round_bench [-- --quick]`.
+
+use std::time::Instant;
+
+use hadar_cluster::Cluster;
+use hadar_core::{HadarConfig, HadarScheduler, RoundParallelism};
+use hadar_sim::{SimConfig, SimOutcome, Simulation};
+use hadar_workload::{generate_trace, ArrivalPattern, TraceConfig};
+
+/// Cluster for `n` jobs, matching Fig. 7's scaling (3 GPU types ×
+/// `n/32` nodes × 4 GPUs).
+fn scaled_cluster(num_jobs: usize) -> Cluster {
+    Cluster::scaled((num_jobs / 32).max(1))
+}
+
+#[derive(Clone, Copy)]
+struct Mode {
+    parallelism: RoundParallelism,
+    cross_round_cache: bool,
+}
+
+const MODES: [Mode; 3] = [
+    // serial
+    Mode {
+        parallelism: RoundParallelism::Fixed(1),
+        cross_round_cache: false,
+    },
+    // parallel
+    Mode {
+        parallelism: RoundParallelism::Auto,
+        cross_round_cache: false,
+    },
+    // incremental
+    Mode {
+        parallelism: RoundParallelism::Auto,
+        cross_round_cache: true,
+    },
+];
+
+struct ModeResult {
+    wall_seconds: f64,
+    decision_seconds: f64,
+    candidates_seconds: f64,
+    reused_rounds: usize,
+    rounds: usize,
+    outcome: SimOutcome,
+}
+
+fn run_mode(num_jobs: usize, max_rounds: u64, mode: Mode) -> ModeResult {
+    let cluster = scaled_cluster(num_jobs);
+    let jobs = generate_trace(
+        &TraceConfig {
+            num_jobs,
+            seed: 7,
+            pattern: ArrivalPattern::Static,
+        },
+        cluster.catalog(),
+    );
+    let sim_config = SimConfig {
+        max_rounds,
+        ..SimConfig::default()
+    };
+    let scheduler = HadarScheduler::new(HadarConfig {
+        round_parallelism: mode.parallelism,
+        cross_round_cache: mode.cross_round_cache,
+        ..HadarConfig::default()
+    });
+    let t0 = Instant::now();
+    let outcome = Simulation::new(cluster, jobs, sim_config)
+        .run(scheduler)
+        .expect("valid round-bench scenario");
+    let wall_seconds = t0.elapsed().as_secs_f64();
+    let (_, candidates_seconds, _) = outcome.phase_totals();
+    ModeResult {
+        wall_seconds,
+        decision_seconds: outcome.total_decision_seconds(),
+        candidates_seconds,
+        reused_rounds: outcome.reused_rounds(),
+        rounds: outcome.rounds.len(),
+        outcome,
+    }
+}
+
+/// The per-job decision trail that must be bit-identical across modes.
+fn decision_trail(out: &SimOutcome) -> Vec<(Option<u64>, Option<u64>, u32, u32)> {
+    out.records
+        .iter()
+        .map(|r| {
+            (
+                r.first_scheduled.map(f64::to_bits),
+                r.finish.map(f64::to_bits),
+                r.rounds_run,
+                r.reallocations,
+            )
+        })
+        .collect()
+}
+
+struct SizeResult {
+    jobs: usize,
+    rounds: usize,
+    serial: ModeResult,
+    parallel: ModeResult,
+    incremental: ModeResult,
+}
+
+fn bench_size(num_jobs: usize, max_rounds: u64) -> SizeResult {
+    let [serial, parallel, incremental] = MODES.map(|mode| run_mode(num_jobs, max_rounds, mode));
+    // The tentpole guarantee: all three paths are exact.
+    assert_eq!(
+        decision_trail(&serial.outcome),
+        decision_trail(&parallel.outcome),
+        "parallel candidate generation changed decisions at n={num_jobs}"
+    );
+    assert_eq!(
+        decision_trail(&serial.outcome),
+        decision_trail(&incremental.outcome),
+        "cross-round cache changed decisions at n={num_jobs}"
+    );
+    SizeResult {
+        jobs: num_jobs,
+        rounds: serial.rounds,
+        serial,
+        parallel,
+        incremental,
+    }
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    // (jobs, round cap) — the cap bounds quick/CI wall time; a static trace
+    // on the Fig. 7 cluster keeps hundreds of jobs queued the whole window,
+    // which is exactly the hot regime the round path optimizes.
+    let plan: &[(usize, u64)] = if quick {
+        &[(64, 8), (128, 8)]
+    } else {
+        &[(256, 40), (1024, 40), (2048, 30)]
+    };
+
+    println!("Hadar round path: serial vs parallel vs incremental (one simulation per cell)");
+    let mut results = Vec::new();
+    for &(jobs, max_rounds) in plan {
+        let r = bench_size(jobs, max_rounds);
+        println!(
+            "  n={:>4} jobs × {} rounds: serial {:>8.2}s | parallel {:>8.2}s ({:.2}×) | incremental {:>8.2}s ({:.2}×, {} reused rounds)",
+            r.jobs,
+            r.rounds,
+            r.serial.wall_seconds,
+            r.parallel.wall_seconds,
+            r.serial.wall_seconds / r.parallel.wall_seconds,
+            r.incremental.wall_seconds,
+            r.serial.wall_seconds / r.incremental.wall_seconds,
+            r.incremental.reused_rounds,
+        );
+        println!(
+            "          decision totals: serial {:>7.2}s (candidates {:>6.2}s) | incremental {:>7.2}s (candidates {:>6.2}s)",
+            r.serial.decision_seconds,
+            r.serial.candidates_seconds,
+            r.incremental.decision_seconds,
+            r.incremental.candidates_seconds,
+        );
+        results.push(r);
+    }
+
+    // cargo runs bins with cwd = the invocation dir; default to the
+    // workspace root so the JSON lands next to BENCH_solver.json.
+    let out_path = std::env::var("HADAR_BENCH_OUT")
+        .unwrap_or_else(|_| concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_round.json").into());
+    let mode_json = |m: &ModeResult| {
+        format!(
+            concat!(
+                "{{\"wall_seconds\": {:.4}, \"decision_seconds\": {:.4}, ",
+                "\"candidates_seconds\": {:.4}, \"reused_rounds\": {}}}"
+            ),
+            m.wall_seconds, m.decision_seconds, m.candidates_seconds, m.reused_rounds,
+        )
+    };
+    let sizes: Vec<String> = results
+        .iter()
+        .map(|r| {
+            format!(
+                concat!(
+                    "    {{\"jobs\": {}, \"rounds\": {}, ",
+                    "\"serial\": {}, \"parallel\": {}, \"incremental\": {}, ",
+                    "\"speedup_parallel_vs_serial\": {:.2}, ",
+                    "\"speedup_incremental_vs_serial\": {:.2}}}"
+                ),
+                r.jobs,
+                r.rounds,
+                mode_json(&r.serial),
+                mode_json(&r.parallel),
+                mode_json(&r.incremental),
+                r.serial.wall_seconds / r.parallel.wall_seconds,
+                r.serial.wall_seconds / r.incremental.wall_seconds,
+            )
+        })
+        .collect();
+    let host_threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let json = format!(
+        "{{\n  \"bench\": \"round\",\n  \"scheduler\": \"hadar\",\n  \"mode\": \"{}\",\n  \"host_threads\": {},\n  \"timing\": \"wall-clock per full simulation; serial = 1 worker + no cross-round cache, parallel = auto workers, incremental = auto workers + cross-round candidate cache; job outcomes asserted bit-identical across the three\",\n  \"note\": \"mode-vs-mode speedups need host_threads > 1 to show parallel gains; on a 1-thread host all modes share one core and the ratios sit near 1. The cross-PR round-path speedup is tracked in EXPERIMENTS.md (Fig. 7 decision times).\",\n  \"sizes\": [\n{}\n  ]\n}}\n",
+        if quick { "quick" } else { "full" },
+        host_threads,
+        sizes.join(",\n")
+    );
+    std::fs::write(&out_path, json).expect("write BENCH_round.json");
+    println!("wrote {out_path}");
+}

@@ -1,0 +1,115 @@
+//! The tentpole guarantee of the parallel round path: candidate prefetch
+//! over worker threads is a pure cache warm-up, so every simulation
+//! artifact — decision trails and rendered result CSVs — is byte-identical
+//! at any `HADAR_ROUND_THREADS` / [`RoundParallelism`] setting.
+//!
+//! One test function on purpose: `HADAR_ROUND_THREADS` and
+//! `HADAR_RESULTS_DIR` are process-wide, so the runs must happen
+//! sequentially in a single test.
+
+use std::path::Path;
+
+use hadar_cluster::Cluster;
+use hadar_core::{HadarConfig, HadarScheduler, RoundParallelism};
+use hadar_sim::{SimConfig, SimOutcome, Simulation, SweepRunner};
+use hadar_workload::{generate_trace, ArrivalPattern, TraceConfig};
+
+/// A 128-job static trace on the scaled cluster keeps well over
+/// `MIN_PARALLEL_QUEUE` (64) jobs queued for many rounds, so the parallel
+/// prefetch genuinely engages whenever more than one thread is configured.
+fn run_sim(parallelism: RoundParallelism) -> SimOutcome {
+    let cluster = Cluster::scaled(4);
+    let jobs = generate_trace(
+        &TraceConfig {
+            num_jobs: 128,
+            seed: 13,
+            pattern: ArrivalPattern::Static,
+        },
+        cluster.catalog(),
+    );
+    let config = HadarConfig {
+        round_parallelism: parallelism,
+        ..HadarConfig::default()
+    };
+    let sim_config = SimConfig {
+        max_rounds: 25,
+        ..SimConfig::default()
+    };
+    Simulation::new(cluster, jobs, sim_config)
+        .run(HadarScheduler::new(config))
+        .unwrap()
+}
+
+/// Render the outcome as a results CSV with bit-exact float formatting —
+/// the byte-level artifact the invariance promise is about.
+fn results_csv(out: &SimOutcome) -> Vec<u8> {
+    let mut csv = String::from("job,first_scheduled,finish,rounds_run,reallocations\n");
+    for r in &out.records {
+        csv.push_str(&format!(
+            "{},{:?},{:?},{},{}\n",
+            r.job.id,
+            r.first_scheduled.map(f64::to_bits),
+            r.finish.map(f64::to_bits),
+            r.rounds_run,
+            r.reallocations,
+        ));
+    }
+    csv.into_bytes()
+}
+
+/// Run the quick Fig. 5 sweep into `dir` and return its CSVs as bytes.
+fn fig5_csvs(dir: &Path) -> Vec<(String, Vec<u8>)> {
+    std::fs::create_dir_all(dir).unwrap();
+    std::env::set_var("HADAR_RESULTS_DIR", dir);
+    let result = hadar_bench::figures::fig5::run(true, &SweepRunner::serial());
+    result
+        .csv_paths
+        .iter()
+        .map(|p| {
+            let name = p.file_name().unwrap().to_string_lossy().into_owned();
+            (name, std::fs::read(p).unwrap())
+        })
+        .collect()
+}
+
+#[test]
+fn round_thread_count_never_changes_results() {
+    // Direct simulation: one serial reference, then heavier thread counts
+    // (well past this container's core count — worker threads are spawned
+    // by request, not by available parallelism).
+    let reference = results_csv(&run_sim(RoundParallelism::Fixed(1)));
+    for n in [2usize, 4, 13] {
+        let csv = results_csv(&run_sim(RoundParallelism::Fixed(n)));
+        assert_eq!(
+            reference, csv,
+            "results CSV differs between 1 and {n} round threads"
+        );
+    }
+
+    // Auto mode resolves HADAR_ROUND_THREADS from the environment on every
+    // round; both settings must match the serial reference byte-for-byte.
+    for n in ["1", "5"] {
+        std::env::set_var("HADAR_ROUND_THREADS", n);
+        let csv = results_csv(&run_sim(RoundParallelism::Auto));
+        assert_eq!(
+            reference, csv,
+            "results CSV differs under HADAR_ROUND_THREADS={n}"
+        );
+    }
+
+    // The pre-existing figure pipeline: the quick Fig. 5 sweep must render
+    // byte-identical CSVs at 1 vs 4 round threads.
+    let base = std::env::temp_dir().join(format!("hadar-round-inv-{}", std::process::id()));
+    std::env::set_var("HADAR_ROUND_THREADS", "1");
+    let serial = fig5_csvs(&base.join("t1"));
+    std::env::set_var("HADAR_ROUND_THREADS", "4");
+    let parallel = fig5_csvs(&base.join("t4"));
+    std::env::remove_var("HADAR_ROUND_THREADS");
+    assert!(!serial.is_empty(), "fig5 quick run produced no CSVs");
+    assert_eq!(
+        serial, parallel,
+        "fig5 CSVs differ between 1 and 4 round threads"
+    );
+
+    let _ = std::fs::remove_dir_all(&base);
+}

@@ -1,6 +1,7 @@
 //! Occupied-GPU bookkeeping: the `γ_h^r(t)` quantities that drive the
 //! primal–dual price function (Eq. 5 of the paper).
 
+use crate::allocation::PlacementSlice;
 use crate::catalog::GpuTypeId;
 use crate::cluster::Cluster;
 use crate::machine::MachineId;
@@ -14,6 +15,10 @@ pub struct Usage {
     /// Incrementally maintained position-weighted hash of `used` (see
     /// [`Usage::fingerprint`]): `Σ_i weight(i)·used[i]` mod 2⁶⁴.
     hash: u64,
+    /// Per-type slices of the same weighted sum: `col_hashes[r]` covers the
+    /// cells `used[h·R + r]` for every machine `h` (see
+    /// [`Usage::column_fingerprint`]). The full `hash` is their sum.
+    col_hashes: Vec<u64>,
     /// Incrementally maintained `Σ used[i]`.
     total: u32,
 }
@@ -36,6 +41,7 @@ impl Usage {
             num_types: cluster.num_types(),
             used: vec![0; cluster.num_machines() * cluster.num_types()],
             hash: 0,
+            col_hashes: vec![0; cluster.num_types()],
             total: 0,
         }
     }
@@ -55,8 +61,10 @@ impl Usage {
     #[inline]
     pub fn add(&mut self, h: MachineId, r: GpuTypeId, count: u32) {
         let i = self.idx(h, r);
+        let delta = weight(i).wrapping_mul(count as u64);
         self.used[i] += count;
-        self.hash = self.hash.wrapping_add(weight(i).wrapping_mul(count as u64));
+        self.hash = self.hash.wrapping_add(delta);
+        self.col_hashes[r.index()] = self.col_hashes[r.index()].wrapping_add(delta);
         self.total += count;
     }
 
@@ -68,10 +76,12 @@ impl Usage {
     #[inline]
     pub fn sub(&mut self, h: MachineId, r: GpuTypeId, count: u32) {
         let i = self.idx(h, r);
+        let delta = weight(i).wrapping_mul(count as u64);
         self.used[i] = self.used[i]
             .checked_sub(count)
             .expect("usage underflow: released more GPUs than held");
-        self.hash = self.hash.wrapping_sub(weight(i).wrapping_mul(count as u64));
+        self.hash = self.hash.wrapping_sub(delta);
+        self.col_hashes[r.index()] = self.col_hashes[r.index()].wrapping_sub(delta);
         self.total -= count;
     }
 
@@ -123,6 +133,38 @@ impl Usage {
     #[inline]
     pub fn fingerprint(&self) -> u64 {
         self.hash
+    }
+
+    /// The fingerprint this usage *would* report after [`Usage::add`]-ing
+    /// every slice of a placement — computed without cloning or mutating.
+    ///
+    /// Because the hash is the position-weighted sum `Σ_i weight(i)·used[i]`
+    /// (mod 2⁶⁴), additions commute and the post-add hash is just the current
+    /// hash plus the slices' weighted counts. The DP dual subroutine uses
+    /// this to probe its memo table for an already-expanded child state
+    /// before paying for the `H × R` matrix clone.
+    #[inline]
+    pub fn fingerprint_after(&self, slices: &[PlacementSlice]) -> u64 {
+        let mut h = self.hash;
+        for s in slices {
+            let i = self.idx(s.machine, s.gpu);
+            h = h.wrapping_add(weight(i).wrapping_mul(s.count as u64));
+        }
+        h
+    }
+
+    /// Fingerprint of a single GPU type's column of the usage matrix: the
+    /// position-weighted sum over `used[h·R + r]` for every machine `h`,
+    /// maintained incrementally like [`Usage::fingerprint`] (which equals
+    /// the sum of all column fingerprints).
+    ///
+    /// Candidate generation orders machines per GPU type, and an allocation
+    /// touches only the columns of the types it actually uses — so a memo
+    /// keyed by `(type, column fingerprint)` stays valid across allocations
+    /// to *other* types, where the full fingerprint would already differ.
+    #[inline]
+    pub fn column_fingerprint(&self, r: GpuTypeId) -> u64 {
+        self.col_hashes[r.index()]
     }
 
     /// Raw occupied counts, row-major `[h][r]`.
@@ -216,6 +258,63 @@ mod tests {
         u1.sub(MachineId(1), c, 2);
         assert_eq!(u1.fingerprint(), Usage::empty(&cl).fingerprint());
         assert_eq!(u1.total_used(), 0);
+    }
+
+    #[test]
+    fn fingerprint_after_matches_actual_adds() {
+        let (cl, a, c) = cl();
+        let mut u = Usage::empty(&cl);
+        u.add(MachineId(0), a, 2);
+        let slices = vec![
+            PlacementSlice {
+                machine: MachineId(0),
+                gpu: a,
+                count: 1,
+            },
+            PlacementSlice {
+                machine: MachineId(1),
+                gpu: c,
+                count: 2,
+            },
+        ];
+        let predicted = u.fingerprint_after(&slices);
+        assert_ne!(predicted, u.fingerprint());
+        for s in &slices {
+            u.add(s.machine, s.gpu, s.count);
+        }
+        assert_eq!(predicted, u.fingerprint());
+        // Empty slice list predicts the unchanged fingerprint.
+        assert_eq!(u.fingerprint_after(&[]), u.fingerprint());
+    }
+
+    #[test]
+    fn column_fingerprint_tracks_only_its_type() {
+        let (cl, a, c) = cl();
+        let mut u = Usage::empty(&cl);
+        let (a0, c0) = (u.column_fingerprint(a), u.column_fingerprint(c));
+        u.add(MachineId(1), a, 1);
+        // Only the touched column moves…
+        assert_ne!(u.column_fingerprint(a), a0);
+        assert_eq!(u.column_fingerprint(c), c0);
+        u.add(MachineId(1), c, 2);
+        assert_ne!(u.column_fingerprint(c), c0);
+        // …the full fingerprint is the sum of the columns…
+        assert_eq!(
+            u.fingerprint(),
+            u.column_fingerprint(a)
+                .wrapping_add(u.column_fingerprint(c))
+        );
+        // …and releasing restores the column exactly (path independence).
+        u.sub(MachineId(1), c, 2);
+        assert_eq!(u.column_fingerprint(c), c0);
+        // Same column content reached differently fingerprints identically.
+        let mut v = Usage::empty(&cl);
+        v.add(MachineId(1), a, 1);
+        assert_eq!(v.column_fingerprint(a), u.column_fingerprint(a));
+        // Position matters within a column.
+        let mut w1 = Usage::empty(&cl);
+        w1.add(MachineId(0), a, 1);
+        assert_ne!(w1.column_fingerprint(a), v.column_fingerprint(a));
     }
 
     #[test]

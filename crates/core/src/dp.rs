@@ -20,7 +20,7 @@ use std::collections::HashMap;
 use hadar_cluster::Usage;
 use hadar_sim::JobState;
 
-use crate::find_alloc::{AllocEnv, Candidate, CandidateCache};
+use crate::find_alloc::{AllocEnv, Candidate, CandidateCache, MIN_PARALLEL_QUEUE};
 
 /// The chosen schedule for one round: per selected job (by index into the
 /// queue order given to the algorithm), its placement candidate.
@@ -30,6 +30,11 @@ pub struct Selection {
     pub decisions: Vec<(usize, Candidate)>,
     /// Total payoff `Σ μ_j` of the selection.
     pub total_payoff: f64,
+    /// Whether the DP hit [`DP_NODE_BUDGET`] and abandoned part of its
+    /// search (falling back to the greedy floor for the unexplored space).
+    /// Surfaced so silently degraded rounds are visible in outcome stats;
+    /// always `false` for pure greedy selections.
+    pub budget_exhausted: bool,
 }
 
 /// Per-job branching width of the DP: the skip branch plus up to this many
@@ -50,21 +55,39 @@ type DpEntry = (f64, Vec<(usize, Candidate)>);
 /// The greedy solution is always computed as a floor; the better of the two
 /// is returned, so `dp_allocation` never underperforms `greedy_allocation`.
 pub fn dp_allocation(queue: &[&JobState], env: &AllocEnv<'_>, usage: &Usage) -> Selection {
-    // One candidate cache serves both the DP exploration and the greedy
-    // floor: the greedy admission path revisits usage states the DP already
-    // expanded, so its `find_alloc` queries are mostly cache hits.
-    let mut cache = CandidateCache::new();
+    dp_allocation_cached(queue, env, usage, &mut CandidateCache::new())
+}
+
+/// [`dp_allocation`] against a caller-provided candidate cache, so the
+/// scheduler can carry cached geometry across rounds. One cache serves both
+/// the DP exploration and the greedy floor: the greedy admission path
+/// revisits usage states the DP already expanded, so its `find_alloc`
+/// queries are mostly cache hits.
+pub fn dp_allocation_cached(
+    queue: &[&JobState],
+    env: &AllocEnv<'_>,
+    usage: &Usage,
+    cache: &mut CandidateCache,
+) -> Selection {
+    // Every job's root-level candidate list is needed regardless of what
+    // the DP explores, so on large forced-DP queues it is worth prefetching
+    // them in parallel before the serial recursion starts.
+    if env.round_threads > 1 && queue.len() >= MIN_PARALLEL_QUEUE {
+        cache.prefetch(queue, env, usage);
+    }
     let mut memo: HashMap<(usize, u64), DpEntry> = HashMap::new();
     let mut nodes = 0usize;
-    let (total_payoff, mut decisions) =
-        dp_rec(0, queue, env, usage, &mut cache, &mut memo, &mut nodes);
+    let (total_payoff, mut decisions) = dp_rec(0, queue, env, usage, cache, &mut memo, &mut nodes);
+    let budget_exhausted = nodes > DP_NODE_BUDGET;
     decisions.sort_by_key(|(i, _)| *i);
     let dp = Selection {
         decisions,
         total_payoff,
+        budget_exhausted,
     };
-    let greedy = greedy_with_cache(queue, env, usage, &mut cache);
+    let mut greedy = greedy_with_cache(queue, env, usage, cache);
     if greedy.total_payoff > dp.total_payoff {
+        greedy.budget_exhausted = budget_exhausted;
         greedy
     } else {
         dp
@@ -104,11 +127,18 @@ fn dp_rec(
         .cloned()
         .collect();
     for cand in cands {
-        let mut taken = usage.clone();
-        for s in cand.placement.slices() {
-            taken.add(s.machine, s.gpu, s.count);
-        }
-        let (sub_payoff, mut sub_dec) = dp_rec(idx + 1, queue, env, &taken, cache, memo, nodes);
+        // Probe the memo with the child's predicted fingerprint first: on a
+        // hit this skips cloning the whole usage matrix.
+        let child_key = (idx + 1, usage.fingerprint_after(cand.placement.slices()));
+        let (sub_payoff, mut sub_dec) = if let Some(hit) = memo.get(&child_key) {
+            hit.clone()
+        } else {
+            let mut taken = usage.clone();
+            for s in cand.placement.slices() {
+                taken.add(s.machine, s.gpu, s.count);
+            }
+            dp_rec(idx + 1, queue, env, &taken, cache, memo, nodes)
+        };
         let payoff = cand.payoff + sub_payoff;
         if payoff > best.0 {
             sub_dec.push((idx, cand));
@@ -133,7 +163,17 @@ pub fn greedy_allocation(queue: &[&JobState], env: &AllocEnv<'_>, usage: &Usage)
 }
 
 /// [`greedy_allocation`] against a caller-provided candidate cache, so the
-/// DP can share the candidates it already enumerated with its greedy floor.
+/// DP can share the candidates it already enumerated with its greedy floor
+/// and the scheduler can carry cached geometry across rounds.
+pub fn greedy_allocation_cached(
+    queue: &[&JobState],
+    env: &AllocEnv<'_>,
+    usage: &Usage,
+    cache: &mut CandidateCache,
+) -> Selection {
+    greedy_with_cache(queue, env, usage, cache)
+}
+
 fn greedy_with_cache(
     queue: &[&JobState],
     env: &AllocEnv<'_>,
@@ -158,21 +198,44 @@ fn greedy_with_cache(
     order.sort_by(|&a, &b| {
         keys[b]
             .0
-            .partial_cmp(&keys[a].0)
-            .expect("finite densities")
-            .then(keys[a].1.partial_cmp(&keys[b].1).expect("finite runtimes"))
+            .total_cmp(&keys[a].0)
+            .then(keys[a].1.total_cmp(&keys[b].1))
             .then(a.cmp(&b))
     });
     let density: Vec<f64> = keys.into_iter().map(|(d, _)| d).collect();
 
     let mut usage = usage.clone();
     let mut selection = Selection::default();
-    for i in order {
+    // Parallel prefetch: ahead of the serial admission loop, batches of
+    // upcoming jobs are priced against the *current* usage snapshot on
+    // worker threads. An admission changes usage (and thus every later
+    // query's key), so the window restarts small after one and doubles
+    // while the loop is only rejecting — the common regime on a saturated
+    // cluster, where the whole remaining tail is one batch.
+    let threads = if queue.len() >= MIN_PARALLEL_QUEUE {
+        env.round_threads
+    } else {
+        1
+    };
+    let mut prefetched_to = 0usize;
+    let mut window = threads * 4;
+    for (pos, &i) in order.iter().enumerate() {
         if density[i] == f64::NEG_INFINITY {
             continue;
         }
         if usage.is_cluster_full(env.cluster) {
             break;
+        }
+        if threads > 1 && pos >= prefetched_to {
+            let end = (pos + window).min(order.len());
+            let batch: Vec<&JobState> = order[pos..end]
+                .iter()
+                .filter(|&&j| density[j] != f64::NEG_INFINITY)
+                .map(|&j| queue[j])
+                .collect();
+            cache.prefetch(&batch, env, &usage);
+            prefetched_to = end;
+            window = (window * 2).min(1024);
         }
         if let Some(cand) = cache.best(queue[i], env, &usage) {
             for s in cand.placement.slices() {
@@ -180,6 +243,8 @@ fn greedy_with_cache(
             }
             selection.total_payoff += cand.payoff;
             selection.decisions.push((i, cand));
+            prefetched_to = pos + 1;
+            window = threads * 4;
         }
     }
     selection.decisions.sort_by_key(|(i, _)| *i);
@@ -225,6 +290,7 @@ mod tests {
             realloc_stall: 10.0,
             features: Default::default(),
             machine_factors: &[],
+            round_threads: 1,
         };
         let usage = Usage::empty(cluster);
         let queue: Vec<&JobState> = states.iter().collect();
@@ -308,6 +374,65 @@ mod tests {
     }
 
     #[test]
+    fn small_instances_do_not_exhaust_dp_budget() {
+        let (cluster, states) = mk_states(&[(DlTask::ResNet18, 2, 40), (DlTask::Lstm, 2, 5)]);
+        let (dp, greedy) = run_both(&cluster, &states);
+        assert!(!dp.budget_exhausted);
+        assert!(!greedy.budget_exhausted);
+    }
+
+    /// Regression (NaN-unsafe comparators): a utility returning NaN used to
+    /// panic the round path inside the candidate/density sorts. With
+    /// `total_cmp` the sorts are total, and NaN payoffs fail the `> 0`
+    /// admission filter, so the adversarial job is simply never scheduled.
+    #[test]
+    fn nan_utility_does_not_panic_round_path() {
+        struct NanUtility;
+        impl crate::utility::Utility for NanUtility {
+            fn name(&self) -> &str {
+                "nan"
+            }
+            fn value(&self, job: &Job, jct: f64, _finish: f64) -> f64 {
+                if job.id.0 == 1 {
+                    f64::NAN
+                } else {
+                    EffectiveThroughput.value(job, jct, _finish)
+                }
+            }
+        }
+        let (cluster, states) = mk_states(&[
+            (DlTask::ResNet18, 2, 40),
+            (DlTask::Lstm, 2, 5),
+            (DlTask::CycleGan, 1, 6),
+        ]);
+        let prices = PriceState::compute(&states, &cluster, &NanUtility, 0.0);
+        let comm = CommCostModel::default();
+        let env = AllocEnv {
+            cluster: &cluster,
+            comm: &comm,
+            prices: &prices,
+            utility: &NanUtility,
+            now: 0.0,
+            realloc_stall: 10.0,
+            features: Default::default(),
+            machine_factors: &[],
+            round_threads: 1,
+        };
+        let usage = Usage::empty(&cluster);
+        let queue: Vec<&JobState> = states.iter().collect();
+        for sel in [
+            dp_allocation(&queue, &env, &usage),
+            greedy_allocation(&queue, &env, &usage),
+        ] {
+            assert!(
+                sel.decisions.iter().all(|(i, _)| *i != 1),
+                "the NaN-payoff job must never be admitted"
+            );
+            assert!(sel.total_payoff.is_finite());
+        }
+    }
+
+    #[test]
     fn decisions_are_sorted_by_queue_index() {
         let (cluster, states) = mk_states(&[
             (DlTask::ResNet18, 1, 10),
@@ -365,6 +490,7 @@ mod randomized_tests {
                 realloc_stall: 10.0,
                 features: Default::default(),
                 machine_factors: &[],
+                round_threads: 1,
             };
             let usage = Usage::empty(&cluster);
             let queue: Vec<&JobState> = states.iter().collect();

@@ -65,10 +65,10 @@ pub mod scheduler;
 pub mod theory;
 pub mod utility;
 
-pub use config::{AllocMode, HadarConfig};
+pub use config::{AllocMode, HadarConfig, RoundParallelism};
 pub use find_alloc::{CandidateCache, Features};
-pub use price::{CompetitiveBound, PriceState};
-pub use profiler::ThroughputEstimator;
+pub use price::{CompetitiveBound, PriceShape, PriceState};
+pub use profiler::{RoundPhase, RoundProfiler, RoundTimings, ThroughputEstimator};
 pub use scheduler::HadarScheduler;
 pub use theory::{audit_round, RoundAudit};
 pub use utility::{

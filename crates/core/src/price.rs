@@ -26,6 +26,26 @@ pub struct PriceState {
     pub horizon: f64,
 }
 
+/// The functional *shape* of `k_h^r(γ)` for one GPU type this round.
+///
+/// The cross-round candidate cache uses this to prove machine-selection
+/// decisions independent of the price *values* (which change every round):
+/// on a [`PriceShape::Curve`] type the price is strictly increasing in the
+/// fill fraction `γ/c`, so the cheapest feasible machine is the one with the
+/// smallest fraction regardless of what `U_min`/`U_max` are; on the other
+/// two shapes every machine of the type prices identically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PriceShape {
+    /// `U_max^r ≤ 0`: the price is 0 at any fill.
+    Zero,
+    /// `U_min^r ≤ 0` or `U_max^r ≤ U_min^r`: the price is the constant
+    /// `U_max^r` at any fill.
+    Constant,
+    /// `0 < U_min^r < U_max^r`: the exponential curve of Eq. 5, strictly
+    /// increasing in `γ/c`.
+    Curve,
+}
+
 /// The Theorem 2 guarantee derived from a [`PriceState`].
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CompetitiveBound {
@@ -164,6 +184,20 @@ impl PriceState {
         lo * (hi / lo).powf(frac)
     }
 
+    /// The [`PriceShape`] of type `r` this round (mirrors the branch
+    /// structure of [`PriceState::price`] exactly; the `capacity == 0` branch
+    /// is per-machine and handled by the caller).
+    pub fn shape(&self, r: GpuTypeId) -> PriceShape {
+        let (lo, hi) = (self.u_min(r), self.u_max(r));
+        if hi <= 0.0 {
+            PriceShape::Zero
+        } else if lo <= 0.0 || hi <= lo {
+            PriceShape::Constant
+        } else {
+            PriceShape::Curve
+        }
+    }
+
     /// The Theorem 2 bound for these prices.
     pub fn bound(&self) -> CompetitiveBound {
         let mut alpha = 1.0f64;
@@ -259,6 +293,29 @@ mod tests {
         let p0 = PriceState::compute(&jobs, &cluster, &EffectiveThroughput, 0.0);
         let p1 = PriceState::compute(&jobs, &cluster, &EffectiveThroughput, 5_000.0);
         assert!(p1.horizon > p0.horizon);
+    }
+
+    #[test]
+    fn shape_classifies_price_branches() {
+        let (cluster, jobs) = states(6);
+        let p = PriceState::compute(&jobs, &cluster, &EffectiveThroughput, 0.0);
+        // A populated queue yields proper 0 < U_min < U_max bounds.
+        assert_eq!(p.shape(GpuTypeId(0)), PriceShape::Curve);
+        // Unknown type id → 0 bounds → zero price at any fill.
+        assert_eq!(p.shape(GpuTypeId(42)), PriceShape::Zero);
+        // Empty queue ⇒ all bounds zero.
+        let empty = PriceState::compute(&[], &cluster, &EffectiveThroughput, 0.0);
+        assert_eq!(empty.shape(GpuTypeId(0)), PriceShape::Zero);
+        // Degenerate bounds (U_max ≤ U_min > 0) ⇒ constant price U_max.
+        let degenerate = PriceState {
+            u_min: vec![2.0],
+            u_max: vec![2.0],
+            eta: 1.0,
+            horizon: 0.0,
+        };
+        assert_eq!(degenerate.shape(GpuTypeId(0)), PriceShape::Constant);
+        assert_eq!(degenerate.price(GpuTypeId(0), 0, 4), 2.0);
+        assert_eq!(degenerate.price(GpuTypeId(0), 4, 4), 2.0);
     }
 
     #[test]

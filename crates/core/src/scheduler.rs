@@ -2,13 +2,14 @@
 //! [`Scheduler`] trait.
 
 use hadar_cluster::{Allocation, JobId, Usage};
-use hadar_sim::{JobState, Scheduler, SchedulerContext};
+use hadar_sim::{DecisionPhases, JobState, Scheduler, SchedulerContext};
+use hadar_workload::Job;
 
 use crate::config::{AllocMode, HadarConfig};
-use crate::dp::{dp_allocation, greedy_allocation, Selection};
-use crate::find_alloc::AllocEnv;
+use crate::dp::{dp_allocation_cached, greedy_allocation_cached, Selection};
+use crate::find_alloc::{AllocEnv, CandidateCache};
 use crate::price::{CompetitiveBound, PriceState};
-use crate::profiler::ThroughputEstimator;
+use crate::profiler::{RoundPhase, RoundProfiler, ThroughputEstimator};
 
 /// The Hadar scheduler.
 ///
@@ -27,6 +28,22 @@ pub struct HadarScheduler {
     cached_set: Option<u64>,
     /// Whether every queued job was placed by the cached allocation.
     cached_all_placed: bool,
+    /// The cross-round candidate cache: priced candidates per round plus
+    /// placement geometries that survive across rounds (keyed by usage
+    /// fingerprint + job class; [`CandidateCache::begin_round`] invalidates
+    /// on any price-shape/availability/feature change).
+    cache: CandidateCache,
+    /// Set on every arrival/completion notification, cleared after a full
+    /// re-optimization. Belt-and-braces companion to the job-set
+    /// fingerprint: the incremental fast path must never fire between an
+    /// event notification and the round that absorbs it.
+    dirty: bool,
+    /// Phase breakdown of the most recent decision (for the engine's
+    /// round telemetry).
+    last_phases: Option<DecisionPhases>,
+    /// Wall-clock stopwatch over the round phases; also keeps lifetime
+    /// per-phase totals across the scheduler's rounds.
+    round_profiler: RoundProfiler,
 }
 
 impl HadarScheduler {
@@ -39,6 +56,10 @@ impl HadarScheduler {
             last_bound: None,
             cached_set: None,
             cached_all_placed: false,
+            cache: CandidateCache::new(),
+            dirty: true,
+            last_phases: None,
+            round_profiler: RoundProfiler::new(),
         }
     }
 
@@ -53,17 +74,30 @@ impl HadarScheduler {
         &self.config
     }
 
-    fn run_subroutine(&self, queue: &[&JobState], env: &AllocEnv<'_>, usage: &Usage) -> Selection {
-        let use_dp = match self.config.alloc_mode {
-            AllocMode::Dp => true,
-            AllocMode::Greedy => false,
-            AllocMode::Auto { dp_max_queue } => queue.len() <= dp_max_queue,
-        };
-        if use_dp {
-            dp_allocation(queue, env, usage)
-        } else {
-            greedy_allocation(queue, env, usage)
-        }
+    /// The round-path profiler: lifetime per-phase wall-clock totals over
+    /// every fully optimized round (quiescent reuse rounds are not timed —
+    /// they do no phase work).
+    pub fn round_profiler(&self) -> &RoundProfiler {
+        &self.round_profiler
+    }
+}
+
+fn run_subroutine(
+    alloc_mode: AllocMode,
+    queue: &[&JobState],
+    env: &AllocEnv<'_>,
+    usage: &Usage,
+    cache: &mut CandidateCache,
+) -> Selection {
+    let use_dp = match alloc_mode {
+        AllocMode::Dp => true,
+        AllocMode::Greedy => false,
+        AllocMode::Auto { dp_max_queue } => queue.len() <= dp_max_queue,
+    };
+    if use_dp {
+        dp_allocation_cached(queue, env, usage, cache)
+    } else {
+        greedy_allocation_cached(queue, env, usage, cache)
     }
 }
 
@@ -90,6 +124,7 @@ impl Scheduler for HadarScheduler {
         // placement, and no machine is straggling, simply renew the current
         // placements.
         if self.config.incremental
+            && !self.dirty
             && self.cached_all_placed
             && self.cached_set == Some(job_set_fingerprint(ctx.jobs))
             && ctx.machine_factors.iter().all(|&f| f >= 1.0)
@@ -99,6 +134,10 @@ impl Scheduler for HadarScheduler {
             for s in ctx.jobs {
                 alloc.set(s.job.id, s.placement.clone());
             }
+            self.last_phases = Some(DecisionPhases {
+                reused: true,
+                ..DecisionPhases::default()
+            });
             return alloc;
         }
         // Profiling phase: substitute noisy estimates for under-observed
@@ -120,7 +159,9 @@ impl Scheduler for HadarScheduler {
         });
         let states: &[JobState] = profiled_states.as_deref().unwrap_or(ctx.jobs);
 
-        let prices = PriceState::compute(states, ctx.cluster, &self.config.utility, ctx.time);
+        let prices = self.round_profiler.time(RoundPhase::Price, || {
+            PriceState::compute(states, ctx.cluster, &self.config.utility, ctx.time)
+        });
         self.last_bound = Some(prices.bound());
         let env = AllocEnv {
             cluster: ctx.cluster,
@@ -131,10 +172,41 @@ impl Scheduler for HadarScheduler {
             realloc_stall: self.config.expected_realloc_penalty,
             features: self.config.features,
             machine_factors: ctx.machine_factors,
+            round_threads: self.config.round_parallelism.resolve(),
         };
         let usage = Usage::empty(ctx.cluster);
         let queue: Vec<&JobState> = states.iter().collect();
-        let selection = self.run_subroutine(&queue, &env, &usage);
+        // With the cross-round cache off (benchmark/ablation mode),
+        // begin_round drops the geometry and pool layers and every miss
+        // re-enumerates from scratch — the pre-cache baseline.
+        self.cache.set_cross_round(self.config.cross_round_cache);
+        self.cache.begin_round(&env);
+        let gen0 = self.cache.gen_seconds();
+        let selection = self.round_profiler.time(RoundPhase::Select, || {
+            run_subroutine(
+                self.config.alloc_mode,
+                &queue,
+                &env,
+                &usage,
+                &mut self.cache,
+            )
+        });
+        // The cache timed candidate generation internally while the
+        // subroutine ran; carve it out of the selection phase.
+        let candidates_seconds = self.cache.gen_seconds() - gen0;
+        self.round_profiler.reattribute(
+            RoundPhase::Select,
+            RoundPhase::Candidates,
+            candidates_seconds,
+        );
+        let timings = self.round_profiler.finish_round();
+        self.last_phases = Some(DecisionPhases {
+            price_seconds: timings.price_seconds,
+            candidates_seconds: timings.candidates_seconds,
+            select_seconds: timings.select_seconds,
+            dp_budget_hit: selection.budget_exhausted,
+            reused: false,
+        });
 
         let mut alloc = Allocation::empty();
         for (idx, cand) in selection.decisions {
@@ -145,13 +217,23 @@ impl Scheduler for HadarScheduler {
             .jobs
             .iter()
             .all(|s| alloc.get(s.job.id).is_some_and(|p| !p.is_empty()));
+        self.dirty = false;
         alloc
     }
 
+    fn on_arrival(&mut self, _job: &Job) {
+        self.dirty = true;
+    }
+
     fn on_completion(&mut self, job: JobId) {
+        self.dirty = true;
         if let Some(est) = self.estimator.as_mut() {
             est.forget(job);
         }
+    }
+
+    fn last_decision_phases(&self) -> Option<DecisionPhases> {
+        self.last_phases
     }
 }
 
@@ -186,6 +268,34 @@ mod tests {
         assert_eq!(out.completed_jobs(), 12);
         assert!(!out.timed_out);
         assert!(out.mean_jct() > 0.0);
+        // The run is deterministic: exactly one round (the first with a
+        // queue at the Auto DP threshold of 9 jobs) pushes the DP past its
+        // 20k-node budget onto the greedy floor.
+        assert_eq!(out.dp_budget_exhausted_rounds(), 1);
+        // Every round must carry a phase report from the Hadar scheduler,
+        // and the quiescent middle of the run must hit the fast path.
+        assert!(out.rounds.iter().all(|r| r.phases.is_some()));
+        assert!(out.reused_rounds() > 0);
+    }
+
+    #[test]
+    fn forced_dp_on_wide_queue_exhausts_node_budget() {
+        // AllocMode::Dp on a 24-job queue: 2^24 subsets dwarf the 20k-node
+        // budget, so the DP must report exhaustion (and fall back to its
+        // greedy floor) in at least the opening rounds.
+        let (cluster, jobs) = trace(24, 11);
+        let cfg = HadarConfig {
+            alloc_mode: AllocMode::Dp,
+            ..HadarConfig::default()
+        };
+        let out = Simulation::new(cluster, jobs, SimConfig::default())
+            .run(HadarScheduler::new(cfg))
+            .unwrap();
+        assert_eq!(out.completed_jobs(), 24);
+        assert!(
+            out.dp_budget_exhausted_rounds() > 0,
+            "24-job DP rounds should hit DP_NODE_BUDGET"
+        );
     }
 
     #[test]
@@ -228,6 +338,21 @@ mod tests {
         let bound = sched.last_competitive_bound().expect("ran at least once");
         assert!(bound.alpha >= 1.0);
         assert!((bound.ratio - 2.0 * bound.alpha).abs() < 1e-12);
+        // The round profiler saw every fully optimized round and its phase
+        // totals agree with the per-round records the engine collected.
+        let profiled = sched.round_profiler().rounds();
+        let optimized = out
+            .rounds
+            .iter()
+            .filter(|r| r.phases.is_some_and(|p| !p.reused))
+            .count();
+        assert_eq!(profiled, optimized);
+        let (p, c, s) = out.phase_totals();
+        let t = sched.round_profiler().totals();
+        assert!((t.price_seconds - p).abs() < 1e-9);
+        assert!((t.candidates_seconds - c).abs() < 1e-9);
+        assert!((t.select_seconds - s).abs() < 1e-9);
+        assert!(t.total_seconds() > 0.0);
     }
 
     #[test]

@@ -1,0 +1,125 @@
+//! The cross-round candidate cache is exact: with the class-geometry layer
+//! kept alive across rounds, every simulation must make bit-identical
+//! decisions to the cache-off reference — including under machine failures
+//! (evictions shrink the usable-GPU mask), stragglers, preemption
+//! penalties, and the noisy profiling estimator, all of which mutate the
+//! inputs the cache is keyed on. A stale entry served after any of these
+//! perturbations would show up here as a diverging trail.
+
+use hadar_cluster::Cluster;
+use hadar_core::profiler::ProfilerConfig;
+use hadar_core::{HadarConfig, HadarScheduler, RoundParallelism};
+use hadar_sim::{
+    FailureModel, PreemptionPenalty, SimConfig, SimOutcome, Simulation, StragglerModel,
+};
+use hadar_workload::{generate_trace, ArrivalPattern, TraceConfig};
+
+fn run(seed: u64, pattern: ArrivalPattern, sim: SimConfig, cache: bool) -> SimOutcome {
+    let cluster = Cluster::paper_simulation();
+    let jobs = generate_trace(
+        &TraceConfig {
+            num_jobs: 12,
+            seed,
+            pattern,
+        },
+        cluster.catalog(),
+    );
+    let config = HadarConfig {
+        cross_round_cache: cache,
+        // Pin one worker so this test isolates the cache (thread invariance
+        // has its own test in crates/bench).
+        round_parallelism: RoundParallelism::Fixed(1),
+        profiler: Some(ProfilerConfig {
+            seed,
+            ..ProfilerConfig::default()
+        }),
+        ..HadarConfig::default()
+    };
+    Simulation::new(cluster, jobs, sim)
+        .run(HadarScheduler::new(config))
+        .expect("valid scenario")
+}
+
+/// Everything decision-shaped in a run, bit-exact.
+fn trail(out: &SimOutcome) -> Vec<(Option<u64>, Option<u64>, u32, u32)> {
+    out.records
+        .iter()
+        .map(|r| {
+            (
+                r.first_scheduled.map(f64::to_bits),
+                r.finish.map(f64::to_bits),
+                r.rounds_run,
+                r.reallocations,
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn cache_never_changes_decisions_across_seeds_and_fault_models() {
+    for seed in 0..3u64 {
+        // Failures force evictions mid-run; stragglers and the modeled
+        // penalty perturb throughputs and prices round over round. Poisson
+        // arrivals on odd seeds exercise the dirty-set path on admission.
+        let pattern = if seed % 2 == 0 {
+            ArrivalPattern::Static
+        } else {
+            ArrivalPattern::Poisson {
+                jobs_per_hour: 12.0,
+            }
+        };
+        let sim = SimConfig {
+            penalty: PreemptionPenalty::Fixed(15.0),
+            straggler: Some(StragglerModel {
+                seed: seed + 1,
+                ..StragglerModel::default()
+            }),
+            failure: Some(FailureModel {
+                mtbf_rounds: 30.0,
+                mttr_rounds: 4.0,
+                seed: seed + 2,
+            }),
+            // Bounded work per seed; a capped (timed-out) run still compares
+            // every per-round decision made up to the cap.
+            max_rounds: 300,
+            ..SimConfig::default()
+        };
+        let with = run(seed, pattern, sim, true);
+        let without = run(seed, pattern, sim, false);
+        assert_eq!(
+            trail(&with),
+            trail(&without),
+            "seed {seed}: cross-round cache changed the decision trail"
+        );
+        assert_eq!(with.timed_out, without.timed_out, "seed {seed}");
+        assert_eq!(
+            with.reused_rounds(),
+            without.reused_rounds(),
+            "seed {seed}: fast-path reuse count diverged"
+        );
+    }
+}
+
+#[test]
+fn cache_is_exact_after_eviction_storms() {
+    // An aggressive failure process (MTBF 6 rounds, paper cluster) keeps
+    // evicting jobs and flipping the availability mask: the cache must
+    // invalidate on every such change rather than serve pre-failure
+    // geometries for machines that no longer exist.
+    let sim = SimConfig {
+        failure: Some(FailureModel {
+            mtbf_rounds: 6.0,
+            mttr_rounds: 3.0,
+            seed: 9,
+        }),
+        max_rounds: 250,
+        ..SimConfig::default()
+    };
+    let with = run(7, ArrivalPattern::Static, sim, true);
+    let without = run(7, ArrivalPattern::Static, sim, false);
+    assert!(
+        with.machine_failures() > 0,
+        "scenario must actually inject failures"
+    );
+    assert_eq!(trail(&with), trail(&without));
+}

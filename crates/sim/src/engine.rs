@@ -85,12 +85,10 @@ impl Simulation {
     /// # Panics
     /// Panics if job ids are not dense `0..n`.
     pub fn new(cluster: Cluster, mut jobs: Vec<Job>, config: SimConfig) -> Self {
-        jobs.sort_by(|a, b| {
-            a.arrival
-                .partial_cmp(&b.arrival)
-                .expect("finite arrivals")
-                .then(a.id.cmp(&b.id))
-        });
+        // total_cmp: a NaN arrival (malformed trace) sorts last instead of
+        // panicking mid-sort; the admission loop then simply never admits it
+        // and the run ends at the round cap with an unstarted record.
+        jobs.sort_by(|a, b| a.arrival.total_cmp(&b.arrival).then(a.id.cmp(&b.id)));
         let mut seen = vec![false; jobs.len()];
         for j in &jobs {
             assert!(
@@ -249,6 +247,8 @@ impl Simulation {
             let t0 = Instant::now();
             let allocation = scheduler.schedule(&ctx);
             let decision_seconds = t0.elapsed().as_secs_f64();
+            let phases = scheduler.last_decision_phases();
+            let bk0 = Instant::now();
 
             // Validate: capacity, gang sizes, and that only queued jobs are
             // scheduled. A violation is a policy bug — fail the run.
@@ -391,18 +391,7 @@ impl Simulation {
                 state.placement = new_placement;
             }
 
-            rounds.push(RoundRecord {
-                time,
-                busy_gpu_seconds,
-                held_gpu_seconds,
-                decision_seconds,
-                reallocations,
-                running_jobs,
-                demand_gpus,
-            });
-
-            completions
-                .sort_by(|a, b| a.time().partial_cmp(&b.time()).expect("finite event times"));
+            completions.sort_by(|a, b| a.time().total_cmp(&b.time()));
             events.extend(completions);
             for id in &finished {
                 scheduler.on_completion(*id);
@@ -410,6 +399,18 @@ impl Simulation {
             completed += finished.len();
             active.retain(|s| s.remaining_iters > 0.0);
             time += round;
+
+            rounds.push(RoundRecord {
+                time: time - round,
+                busy_gpu_seconds,
+                held_gpu_seconds,
+                decision_seconds,
+                reallocations,
+                running_jobs,
+                demand_gpus,
+                phases,
+                bookkeeping_seconds: bk0.elapsed().as_secs_f64(),
+            });
         }
 
         // A run that hits the round cap before every job has arrived leaves
@@ -883,6 +884,47 @@ mod tests {
         let with_none = Simulation::new(cluster(), jobs, cfg).run(FifoV100).unwrap();
         assert_eq!(base.jcts(), with_none.jcts());
         assert_eq!(base.events(), with_none.events());
+    }
+
+    #[test]
+    fn nan_arrival_sorts_last_and_never_admits() {
+        // Regression for the NaN-unsafe arrival comparator: a malformed
+        // trace with a NaN arrival used to panic inside sort_by. With
+        // total_cmp the job sorts last, is never admitted (NaN fails every
+        // `arrival <= boundary` check), and the run ends at the round cap
+        // with an unstarted record instead of aborting.
+        // Job::new validates arrivals, so corrupt the field after
+        // construction — mimicking a trace deserialized from a hand-edited
+        // file that bypassed the constructor.
+        let mut bad = small_job(1, 0.0, 1, 1);
+        bad.arrival = f64::NAN;
+        let jobs = vec![small_job(0, 0.0, 1, 1), bad];
+        let cfg = SimConfig {
+            max_rounds: 3,
+            ..no_penalty_config()
+        };
+        let out = Simulation::new(cluster(), jobs, cfg).run(FifoV100).unwrap();
+        assert!(out.timed_out);
+        assert_eq!(out.completed_jobs(), 1);
+        assert!(out.records[1].first_scheduled.is_none());
+        assert!(out.records[1].finish.is_none());
+    }
+
+    #[test]
+    fn rounds_report_bookkeeping_and_no_phases_for_plain_policies() {
+        // FifoV100 does not override last_decision_phases: every round must
+        // carry None phases and a finite bookkeeping time.
+        let jobs = vec![small_job(0, 0.0, 2, 100)];
+        let out = Simulation::new(cluster(), jobs, no_penalty_config())
+            .run(FifoV100)
+            .unwrap();
+        assert!(!out.rounds.is_empty());
+        for r in &out.rounds {
+            assert!(r.phases.is_none());
+            assert!(r.bookkeeping_seconds >= 0.0);
+        }
+        assert_eq!(out.dp_budget_exhausted_rounds(), 0);
+        assert_eq!(out.reused_rounds(), 0);
     }
 
     #[test]

@@ -78,6 +78,6 @@ pub use error::{SimError, SimResult};
 pub use event::{check_lifecycle, SimEvent};
 pub use failure::{FailureModel, FailureState, FailureTransitions};
 pub use runner::{run_parallel, CellResult, SweepRunner};
-pub use scheduler::{JobState, Scheduler, SchedulerContext};
+pub use scheduler::{DecisionPhases, JobState, Scheduler, SchedulerContext};
 pub use stats::{JobRecord, RoundRecord, SimOutcome};
 pub use straggler::{StragglerModel, StragglerState};

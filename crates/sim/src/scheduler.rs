@@ -94,6 +94,27 @@ impl SchedulerContext<'_> {
     }
 }
 
+/// Per-phase wall-clock breakdown of one scheduling decision, reported by
+/// schedulers that instrument their round path (Hadar does). All durations
+/// are in seconds; phases not applicable to a policy stay 0.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct DecisionPhases {
+    /// Time spent recomputing marginal prices (Eq. 5).
+    pub price_seconds: f64,
+    /// Time spent generating/pricing placement candidates (cache misses and
+    /// parallel prefetch batches).
+    pub candidates_seconds: f64,
+    /// Time spent in subset selection (DP or greedy admission) *excluding*
+    /// candidate generation.
+    pub select_seconds: f64,
+    /// Whether the DP dual subroutine hit its node budget and fell back to
+    /// (or was beaten by) the greedy floor this round.
+    pub dp_budget_hit: bool,
+    /// Whether the round reused the previous decision outright (the §IV-A-5
+    /// incremental fast path) instead of re-optimizing.
+    pub reused: bool,
+}
+
 /// A round-based cluster scheduler.
 ///
 /// The simulator calls [`Scheduler::schedule`] once per round; the returned
@@ -115,6 +136,14 @@ pub trait Scheduler {
     /// Notification: `job` finished during the previous round (called before
     /// the round's `schedule`).
     fn on_completion(&mut self, _job: hadar_cluster::JobId) {}
+
+    /// Per-phase timing of the most recent [`Scheduler::schedule`] call, if
+    /// the policy instruments its round path (`None` otherwise — the
+    /// default). The engine polls this right after each decision and attaches
+    /// it to the round record.
+    fn last_decision_phases(&self) -> Option<DecisionPhases> {
+        None
+    }
 }
 
 /// Blanket impl so a mutable reference can be passed to
@@ -133,6 +162,9 @@ impl<S: Scheduler + ?Sized> Scheduler for &mut S {
     fn on_completion(&mut self, job: hadar_cluster::JobId) {
         (**self).on_completion(job)
     }
+    fn last_decision_phases(&self) -> Option<DecisionPhases> {
+        (**self).last_decision_phases()
+    }
 }
 
 /// Blanket impl so `Box<dyn Scheduler>` is itself a scheduler (lets the
@@ -149,6 +181,9 @@ impl Scheduler for Box<dyn Scheduler + '_> {
     }
     fn on_completion(&mut self, job: hadar_cluster::JobId) {
         (**self).on_completion(job)
+    }
+    fn last_decision_phases(&self) -> Option<DecisionPhases> {
+        (**self).last_decision_phases()
     }
 }
 

@@ -449,7 +449,11 @@ fn solve_with_layout(
         .map(|c| layout.to_basis(c));
     let (outcome, basis) = match warm {
         Some(b) => p.solve_warm(&b),
-        None => p.solve_revised_with_basis(),
+        // Cold rounds (first solve, or an invalidated cache) pick the
+        // solver by problem size: dense tableau for small LPs, revised
+        // above the crossover. Both export a revised-id basis, so the next
+        // round warm-starts either way.
+        None => p.solve_cold_with_basis(),
     };
     let s = outcome
         .optimal()

@@ -35,6 +35,15 @@
 use crate::simplex::{LpOutcome, LpProblem, LpSolution, Relation};
 
 const EPS: f64 = 1e-9;
+/// Largest standard-form dimension (`num_vars + num_constraints`) at which a
+/// *cold* solve prefers the dense tableau over the revised simplex. Measured
+/// on the Gavel LPs of BENCH_solver.json: the revised cold path is ~0.27× the
+/// dense solver at 32 jobs (131 dims) and ~0.77× at 128 jobs (515 dims) —
+/// the eta-file bookkeeping dominates while the tableau still fits in cache —
+/// with the crossover landing a little above the 512-job point (2051 dims).
+/// Warm-started solves always take the revised path: basis reuse beats both
+/// cold solvers at every size.
+const COLD_DENSE_MAX_DIM: usize = 2048;
 /// Pivots between eta-file rebuilds.
 const REFACTOR_EVERY: usize = 96;
 /// Smallest acceptable pivot magnitude inside a factorization.
@@ -112,6 +121,26 @@ impl LpProblem {
             // A stall can only arise from tolerance pathologies; the dense
             // solver is the terminating fallback of last resort.
             None => (self.solve(), None),
+        }
+    }
+
+    /// Whether a cold (no warm basis) solve of this problem should use the
+    /// dense tableau instead of the revised simplex: true for problems of at
+    /// most [`COLD_DENSE_MAX_DIM`] standard-form dimensions, where the dense
+    /// solver's cache-friendly pivots beat the eta-file overhead.
+    pub fn cold_solve_prefers_dense(&self) -> bool {
+        self.num_vars() + self.num_constraints() <= COLD_DENSE_MAX_DIM
+    }
+
+    /// Size-adaptive cold solve: dense tableau below the
+    /// [`COLD_DENSE_MAX_DIM`] crossover, sparse revised simplex above it.
+    /// Either way the optimal basis comes back in revised-solver ids, ready
+    /// to seed [`LpProblem::solve_warm`] on the next round.
+    pub fn solve_cold_with_basis(&self) -> (LpOutcome, Option<Basis>) {
+        if self.cold_solve_prefers_dense() {
+            self.solve_dense_with_basis()
+        } else {
+            self.solve_revised_with_basis()
         }
     }
 
@@ -839,6 +868,61 @@ mod tests {
             "objective {}",
             s.objective
         );
+    }
+
+    #[test]
+    fn cold_solver_selection_crosses_over_at_dim_threshold() {
+        // The size-adaptive cold solve is pinned to the standard-form
+        // dimension count num_vars + num_constraints: at or below 2048 the
+        // dense tableau wins (BENCH_solver.json: revised-cold is 0.27× dense
+        // at 32 jobs), above it the revised simplex takes over.
+        let build = |vars: usize, rows: usize| {
+            let mut p = LpProblem::maximize(vars);
+            for i in 0..rows {
+                p.add_constraint(vec![(i % vars, 1.0)], Relation::Le, 1.0);
+            }
+            p
+        };
+        assert!(build(10, 10).cold_solve_prefers_dense());
+        assert!(build(1024, 1024).cold_solve_prefers_dense()); // exactly 2048
+        assert!(!build(1025, 1024).cold_solve_prefers_dense()); // 2049
+        assert!(!build(3072, 1037).cold_solve_prefers_dense());
+    }
+
+    #[test]
+    fn dense_cold_solve_exports_a_warm_startable_basis() {
+        // A small Gavel-shaped LP takes the dense path cold; its exported
+        // basis must (a) match the revised solver's optimum and (b) be
+        // directly usable by solve_warm after an RHS perturbation.
+        let build = |cap: f64| {
+            let mut p = LpProblem::maximize(6); // 3 jobs × 2 types
+            for (i, v) in [3.0, 1.0, 2.0, 2.0, 1.0, 4.0].into_iter().enumerate() {
+                p.set_objective(i, v);
+            }
+            for j in 0..3 {
+                p.add_constraint(vec![(2 * j, 1.0), (2 * j + 1, 1.0)], Relation::Le, 1.0);
+            }
+            p.add_constraint(vec![(0, 1.0), (2, 1.0), (4, 1.0)], Relation::Le, cap);
+            p.add_constraint(vec![(1, 1.0), (3, 1.0), (5, 1.0)], Relation::Le, cap);
+            p
+        };
+        let p = build(2.0);
+        assert!(p.cold_solve_prefers_dense());
+        let (out, basis) = p.solve_cold_with_basis();
+        let dense_obj = out.optimal().unwrap().objective;
+        let revised_obj = p.solve_revised().optimal().unwrap().objective;
+        assert!((dense_obj - revised_obj).abs() < 1e-7);
+        let basis = basis.expect("dense cold solve must export a basis");
+
+        let perturbed = build(1.0);
+        let cold = perturbed.solve_revised().optimal().unwrap().objective;
+        let (warm_out, warm_basis) = perturbed.solve_warm(&basis);
+        let warm = warm_out.optimal().unwrap().objective;
+        assert!(
+            (warm - cold).abs() < 1e-7,
+            "warm-from-dense {warm} vs cold {cold}"
+        );
+        assert!(warm_basis.is_some());
     }
 
     #[test]

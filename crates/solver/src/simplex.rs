@@ -127,7 +127,24 @@ impl LpProblem {
 
     /// Solve with two-phase simplex.
     pub fn solve(&self) -> LpOutcome {
-        Tableau::build(self).solve()
+        Tableau::build(self).solve().0
+    }
+
+    /// Solve with the dense two-phase simplex and also export the optimal
+    /// basis in the standard-form column ids of [`crate::revised::Basis`],
+    /// so a dense cold solve can seed the revised solver's warm-start path
+    /// on later rounds. The basis is `None` unless the outcome is optimal.
+    pub fn solve_dense_with_basis(&self) -> (LpOutcome, Option<crate::revised::Basis>) {
+        let (out, cols) = Tableau::build(self).solve();
+        let basis = match (&out, cols) {
+            (LpOutcome::Optimal(_), Some(cols)) => Some(crate::revised::Basis::from_columns(
+                cols,
+                self.num_vars,
+                self.constraints.len(),
+            )),
+            _ => None,
+        };
+        (out, basis)
     }
 
     /// The constraint rows (shared with the revised solver).
@@ -154,6 +171,11 @@ struct Tableau {
     total_cols: usize,
     artificial_start: usize,
     original_objective: Vec<f64>,
+    /// Constraint row of each slack/surplus column, in column-allocation
+    /// order (`slack_rows[s − slack_start]` = the row that owns column `s`).
+    /// Needed to translate the final basis into [`crate::revised::Basis`]
+    /// ids, which index slacks by *row*, not by allocation order.
+    slack_rows: Vec<usize>,
 }
 
 impl Tableau {
@@ -186,6 +208,7 @@ impl Tableau {
 
         let mut rows = vec![vec![0.0; width]; m];
         let mut basis = vec![usize::MAX; m];
+        let mut slack_rows = Vec::with_capacity(num_slack);
         let mut next_slack = slack_start;
         let mut next_art = artificial_start;
 
@@ -204,10 +227,12 @@ impl Tableau {
                 Relation::Le => {
                     rows[i][next_slack] = 1.0;
                     basis[i] = next_slack;
+                    slack_rows.push(i);
                     next_slack += 1;
                 }
                 Relation::Ge => {
                     rows[i][next_slack] = -1.0;
+                    slack_rows.push(i);
                     next_slack += 1;
                     rows[i][next_art] = 1.0;
                     basis[i] = next_art;
@@ -229,10 +254,16 @@ impl Tableau {
             total_cols,
             artificial_start,
             original_objective: p.objective.clone(),
+            slack_rows,
         }
     }
 
-    fn solve(mut self) -> LpOutcome {
+    /// Solve; on an optimal outcome also return the final basic columns
+    /// translated to [`crate::revised::Basis`] standard-form ids
+    /// (structural `j` → `j`, slack of row `i` → `num_structural + i`;
+    /// basic artificials of redundant rows are dropped — `solve_warm`
+    /// completes missing rows on its own).
+    fn solve(mut self) -> (LpOutcome, Option<Vec<usize>>) {
         // Phase 1 (only if artificials exist): maximize −Σ artificials.
         if self.artificial_start < self.total_cols {
             self.obj = vec![0.0; self.total_cols + 1];
@@ -255,7 +286,7 @@ impl Tableau {
             }
             let phase1 = -self.obj[self.total_cols];
             if phase1.abs() > 1e-7 {
-                return LpOutcome::Infeasible;
+                return (LpOutcome::Infeasible, None);
             }
             // Drive any remaining artificials out of the basis.
             self.evict_basic_artificials();
@@ -278,7 +309,7 @@ impl Tableau {
             }
         }
         match self.run(false) {
-            RunResult::Unbounded => LpOutcome::Unbounded,
+            RunResult::Unbounded => (LpOutcome::Unbounded, None),
             RunResult::Optimal => {
                 let mut x = vec![0.0; self.num_structural];
                 for (i, &b) in self.basis.iter().enumerate() {
@@ -291,7 +322,21 @@ impl Tableau {
                     .zip(&self.original_objective)
                     .map(|(xi, ci)| xi * ci)
                     .sum();
-                LpOutcome::Optimal(LpSolution { x, objective })
+                let cols: Vec<usize> = self
+                    .basis
+                    .iter()
+                    .filter_map(|&b| {
+                        if b < self.num_structural {
+                            Some(b)
+                        } else if b < self.artificial_start {
+                            let row = self.slack_rows[b - self.num_structural];
+                            Some(self.num_structural + row)
+                        } else {
+                            None
+                        }
+                    })
+                    .collect();
+                (LpOutcome::Optimal(LpSolution { x, objective }), Some(cols))
             }
         }
     }
