@@ -142,6 +142,10 @@ impl GavelScheduler {
         } else {
             None
         };
+        ctx.telemetry.incr("gavel.lp_solves", 1.0);
+        if warm.is_some() {
+            ctx.telemetry.incr("gavel.lp_warm_starts", 1.0);
+        }
         let solved = match self.config.policy {
             GavelPolicy::MaxTotalThroughput => {
                 max_total_throughput_allocation_warm(&input, &keys, warm)
@@ -162,6 +166,7 @@ impl GavelScheduler {
                 // nothing, the next job-set change retries from cold.
                 self.basis_cache = None;
                 self.last_lp_error = Some(e);
+                ctx.telemetry.incr("gavel.lp_errors", 1.0);
             }
         }
     }
@@ -211,6 +216,8 @@ impl Scheduler for GavelScheduler {
         if ctx.jobs.is_empty() {
             return Allocation::empty();
         }
+        ctx.telemetry
+            .gauge("gavel.active_jobs", ctx.jobs.len() as f64);
         let fp = Self::job_set_fingerprint(ctx);
         if fp != self.cached_set || self.y.is_empty() {
             self.solve(ctx);

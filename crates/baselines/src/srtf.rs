@@ -110,6 +110,16 @@ impl Scheduler for SrtfScheduler {
         for idx in order {
             let s = &ctx.jobs[idx];
             if let Some(p) = Self::place(ctx, &usage, s) {
+                if ctx.telemetry.is_enabled() {
+                    // Did the gang land on the job's fastest type, or did
+                    // contention push it down the preference list?
+                    let preferred = s.job.profile.types_by_preference().first().copied();
+                    if preferred.is_some_and(|r| p.gpu_types() == [r]) {
+                        ctx.telemetry.incr("srtf.placed_preferred", 1.0);
+                    } else {
+                        ctx.telemetry.incr("srtf.placed_fallback", 1.0);
+                    }
+                }
                 for sl in p.slices() {
                     usage.add(sl.machine, sl.gpu, sl.count);
                 }

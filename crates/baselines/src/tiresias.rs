@@ -256,6 +256,12 @@ impl Scheduler for TiresiasScheduler {
                 )
                 .then(sa.job.id.cmp(&sb.job.id))
         });
+        if ctx.telemetry.is_enabled() {
+            let high = ctx.jobs.iter().filter(|s| queue_of(s) == 0).count();
+            ctx.telemetry.gauge("tiresias.queue_high", high as f64);
+            ctx.telemetry
+                .gauge("tiresias.queue_low", (ctx.jobs.len() - high) as f64);
+        }
 
         let mut usage = Usage::empty(ctx.cluster);
         let mut alloc = Allocation::empty();

@@ -118,6 +118,8 @@ impl Scheduler for YarnCsScheduler {
                 .expect("finite arrivals")
                 .then(a.job.id.cmp(&b.job.id))
         });
+        let queue_len = waiting.len();
+        let mut admitted = 0usize;
         for s in waiting {
             match Self::place(ctx, &usage, s) {
                 Some(p) => {
@@ -126,10 +128,15 @@ impl Scheduler for YarnCsScheduler {
                     }
                     self.running.insert(s.job.id, p.clone());
                     alloc.set(s.job.id, p);
+                    admitted += 1;
                 }
                 None => break,
             }
         }
+        ctx.telemetry
+            .gauge("yarn.running", self.running.len() as f64);
+        ctx.telemetry
+            .gauge("yarn.hol_blocked", (queue_len - admitted) as f64);
         alloc
     }
 

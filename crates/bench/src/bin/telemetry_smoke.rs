@@ -1,0 +1,79 @@
+//! Telemetry smoke check: run every policy with the telemetry sink enabled
+//! on one small workload, validate each JSONL stream against schema
+//! `hadar.telemetry.v1`, and write the streams plus an aggregate summary
+//! CSV under the results directory. Exits non-zero on any invalid stream,
+//! so CI can gate on it.
+
+use hadar_bench::experiments::{results_dir, run_scenario_with_telemetry, SchedulerKind};
+use hadar_cluster::Cluster;
+use hadar_metrics::CsvWriter;
+use hadar_sim::{SimConfig, Telemetry};
+use hadar_workload::{generate_trace, ArrivalPattern, TraceConfig};
+
+fn main() {
+    let cluster = Cluster::paper_simulation();
+    let jobs = generate_trace(
+        &TraceConfig {
+            num_jobs: 8,
+            seed: 7,
+            pattern: ArrivalPattern::Static,
+        },
+        cluster.catalog(),
+    );
+    let dir = results_dir();
+    std::fs::create_dir_all(&dir).expect("create results dir");
+
+    let mut w = CsvWriter::new(&[
+        "scheduler",
+        "rounds",
+        "scheduled",
+        "preempted",
+        "evicted",
+        "completed",
+    ]);
+    let kinds = [
+        SchedulerKind::Hadar,
+        SchedulerKind::Gavel,
+        SchedulerKind::Tiresias,
+        SchedulerKind::YarnCs,
+        SchedulerKind::Srtf,
+    ];
+    for kind in kinds {
+        let out = run_scenario_with_telemetry(
+            cluster.clone(),
+            jobs.clone(),
+            SimConfig::default(),
+            kind,
+            Telemetry::enabled(),
+        )
+        .expect("valid scenario");
+        let stream = out
+            .telemetry_stream()
+            .expect("enabled sink records a stream");
+        let report = hadar_metrics::validate_telemetry_jsonl(stream)
+            .unwrap_or_else(|e| panic!("{}: invalid telemetry stream: {e}", kind.name()));
+        let slug = kind.name().to_lowercase().replace([' ', '(', ')'], "");
+        let path = dir.join(format!("telemetry_{slug}.jsonl"));
+        std::fs::write(&path, stream).expect("write stream");
+        println!(
+            "  {:<9} {} rounds, {} scheduled, {} evicted — wrote {}",
+            report.scheduler,
+            report.rounds,
+            report.scheduled,
+            report.evicted,
+            path.display()
+        );
+        w.row(vec![
+            report.scheduler,
+            report.rounds.to_string(),
+            report.scheduled.to_string(),
+            report.preempted.to_string(),
+            report.evicted.to_string(),
+            report.completed.to_string(),
+        ]);
+    }
+    let summary = dir.join("telemetry_summary.csv");
+    std::fs::write(&summary, w.as_str()).expect("write summary CSV");
+    println!("  wrote {}", summary.display());
+    println!("telemetry smoke: all {} streams valid", kinds.len());
+}

@@ -5,7 +5,7 @@ use hadar_baselines::{
 };
 use hadar_cluster::Cluster;
 use hadar_core::{FtfUtility, HadarConfig, HadarScheduler, MinMakespan, UtilityKind};
-use hadar_sim::{Scheduler, SimConfig, SimResult, Simulation};
+use hadar_sim::{Scheduler, SimConfig, SimResult, Simulation, Telemetry};
 use hadar_workload::Job;
 
 /// The schedulers compared in the evaluation.
@@ -84,9 +84,24 @@ pub fn run_scenario(
     config: SimConfig,
     kind: SchedulerKind,
 ) -> SimResult {
+    run_scenario_with_telemetry(cluster, jobs, config, kind, Telemetry::disabled())
+}
+
+/// [`run_scenario`] with an explicit telemetry sink. Pass
+/// [`Telemetry::enabled`] to record the per-round JSONL stream (read it
+/// back via `SimOutcome::telemetry_stream`); an observing sink never
+/// changes the simulated schedule.
+pub fn run_scenario_with_telemetry(
+    cluster: Cluster,
+    jobs: Vec<Job>,
+    config: SimConfig,
+    kind: SchedulerKind,
+    telemetry: Telemetry,
+) -> SimResult {
     let n = jobs.len();
     let scheduler = kind.build(&cluster, n);
-    let mut outcome = Simulation::new(cluster, jobs, config).run(scheduler)?;
+    let mut outcome =
+        Simulation::new(cluster, jobs, config).run_with_telemetry(scheduler, telemetry)?;
     // Label with the comparison name (e.g. distinguish Hadar variants).
     outcome.scheduler = kind.name().to_owned();
     Ok(outcome)

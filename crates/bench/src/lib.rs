@@ -14,5 +14,5 @@ pub mod experiments;
 pub mod figures;
 pub mod scenarios;
 
-pub use experiments::{run_scenario, runner_from_cli, SchedulerKind};
+pub use experiments::{run_scenario, run_scenario_with_telemetry, runner_from_cli, SchedulerKind};
 pub use scenarios::{paper_sim_scenario, Scenario};

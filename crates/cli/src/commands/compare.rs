@@ -4,7 +4,7 @@
 //! run; only wall-clock differs).
 
 use hadar_metrics::Table;
-use hadar_sim::{SimConfig, SimResult, Simulation};
+use hadar_sim::{SimConfig, SimResult, Simulation, Telemetry};
 use hadar_workload::{generate_trace, ArrivalPattern, TraceConfig};
 
 use crate::args::{
@@ -14,8 +14,10 @@ use crate::commands::scheduler_by_name;
 
 const SCHEDULERS: [&str; 4] = ["hadar", "gavel", "tiresias", "yarn"];
 
-/// Run the comparison; returns the rendered table.
-pub fn run(opts: &Options) -> Result<String, String> {
+/// Run the comparison. Returns `(table, telemetry_jsonl)`; the stream
+/// (every scheduler's JSONL concatenated, in table order) is `Some` only
+/// when `--telemetry-out` was given.
+pub fn run(opts: &Options) -> Result<(String, Option<String>), String> {
     let num_jobs: usize = opts.get_parsed("jobs", 48)?;
     if num_jobs == 0 {
         return Err("--jobs must be ≥ 1".into());
@@ -42,6 +44,7 @@ pub fn run(opts: &Options) -> Result<String, String> {
         ..SimConfig::default()
     };
 
+    let observe = opts.get("telemetry-out").is_some();
     let cells: Vec<Box<dyn FnOnce() -> SimResult + Send>> = SCHEDULERS
         .into_iter()
         .map(|name| {
@@ -49,7 +52,12 @@ pub fn run(opts: &Options) -> Result<String, String> {
             Box::new(move || {
                 let scheduler =
                     scheduler_by_name(name, round_threads).expect("known scheduler name");
-                Simulation::new(cluster, jobs, config).run(scheduler)
+                let sink = if observe {
+                    Telemetry::enabled()
+                } else {
+                    Telemetry::disabled()
+                };
+                Simulation::new(cluster, jobs, config).run_with_telemetry(scheduler, sink)
             }) as Box<dyn FnOnce() -> SimResult + Send>
         })
         .collect();
@@ -65,8 +73,12 @@ pub fn run(opts: &Options) -> Result<String, String> {
         "Queue (h)",
     ]);
     let mut timings = String::new();
+    let mut streams = String::new();
     for cell in results {
         let out = cell.outcome.map_err(|e| e.to_string())?;
+        if let Some(s) = out.telemetry_stream() {
+            streams.push_str(s);
+        }
         let m = out.metrics();
         timings.push_str(&format!(
             "  {:<9} cell wall-clock {:.2}s\n",
@@ -82,12 +94,13 @@ pub fn run(opts: &Options) -> Result<String, String> {
             format!("{:.2}", out.queuing_delays().mean / 3600.0),
         ]);
     }
-    Ok(format!(
+    let rendered = format!(
         "{num_jobs} jobs, seed {seed}, {pattern:?}, {} GPUs, {} worker threads\n\n{}\n{timings}",
         cluster.total_gpus(),
         runner.threads(),
         table.render()
-    ))
+    );
+    Ok((rendered, observe.then_some(streams)))
 }
 
 #[cfg(test)]
@@ -98,9 +111,37 @@ mod tests {
     fn compares_all_four() {
         let opts =
             Options::parse(["--jobs", "6", "--seed", "4"].iter().map(|s| s.to_string())).unwrap();
-        let out = run(&opts).unwrap();
+        let (out, telemetry) = run(&opts).unwrap();
         for name in ["Hadar", "Gavel", "Tiresias", "YARN-CS"] {
             assert!(out.contains(name), "{name} missing:\n{out}");
+        }
+        assert!(telemetry.is_none());
+    }
+
+    #[test]
+    fn compare_with_telemetry_collects_all_streams() {
+        let opts = Options::parse(
+            ["--jobs", "5", "--seed", "4", "--telemetry-out", "x.jsonl"]
+                .iter()
+                .map(|s| s.to_string()),
+        )
+        .unwrap();
+        let (_, telemetry) = run(&opts).unwrap();
+        let stream = telemetry.expect("stream present with --telemetry-out");
+        // One meta line per scheduler, each opening a schema-valid segment.
+        let metas: Vec<usize> = stream
+            .lines()
+            .enumerate()
+            .filter(|(_, l)| l.contains("\"type\":\"meta\""))
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(metas.len(), 4, "{stream}");
+        let lines: Vec<&str> = stream.lines().collect();
+        for (k, &start) in metas.iter().enumerate() {
+            let end = metas.get(k + 1).copied().unwrap_or(lines.len());
+            let segment = lines[start..end].join("\n");
+            let r = hadar_metrics::validate_telemetry_jsonl(&segment).unwrap();
+            assert!(r.rounds > 0, "{}", r.scheduler);
         }
     }
 
@@ -127,7 +168,7 @@ mod tests {
                 .map(|s| s.to_string())
                 .chain([threads.to_string()])
                 .collect();
-            let out = run(&Options::parse(args).unwrap()).unwrap();
+            let (out, _) = run(&Options::parse(args).unwrap()).unwrap();
             out.lines()
                 .filter(|l| !l.contains("worker threads") && !l.contains("cell wall-clock"))
                 .collect::<Vec<_>>()
@@ -145,7 +186,7 @@ mod tests {
                 .map(|s| s.to_string())
                 .chain([threads.to_string()])
                 .collect();
-            let out = run(&Options::parse(args).unwrap()).unwrap();
+            let (out, _) = run(&Options::parse(args).unwrap()).unwrap();
             // Strip the header line (thread count) and cell wall-clock
             // lines; the metric table itself must be identical.
             out.lines()

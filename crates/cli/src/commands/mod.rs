@@ -53,7 +53,8 @@ USAGE:
                      [--penalty none|fixed:SECS|modeled]
                      [--straggler INC,SLOW,ROUNDS,SEED]
                      [--mtbf HOURS] [--mttr HOURS] [--failure-seed S]
-                     [--csv FILE] [--threads N] [--round-threads N]
+                     [--csv FILE] [--telemetry-out FILE]
+                     [--threads N] [--round-threads N]
       Run one simulation and print the metric report. --round-threads N
       pins the Hadar scheduler's intra-round candidate-generation worker
       count (default: HADAR_ROUND_THREADS or the machine parallelism;
@@ -61,16 +62,22 @@ USAGE:
       seeded machine fault injection (mean time between failures per
       machine, in hours; --mttr is the mean repair time, default 0.5 h):
       jobs on a failed machine are evicted, lose the round, and pay the
-      checkpoint-restore penalty when re-placed.
+      checkpoint-restore penalty when re-placed. --telemetry-out FILE
+      records a per-round JSONL telemetry stream (schema
+      hadar.telemetry.v1: queue depth, scheduling/preemption/eviction
+      counts, GPU-type utilization, per-policy counters) without
+      changing the simulated schedule.
 
   hadar-cli compare [--jobs N] [--seed S] [--pattern P] [--cluster C]
                     [--mtbf HOURS] [--mttr HOURS] [--failure-seed S]
-                    [--threads N] [--round-threads N]
+                    [--telemetry-out FILE] [--threads N] [--round-threads N]
       Run all four schedulers on the same workload and print a table.
       --threads N fans the four runs over N worker threads (default:
       HADAR_THREADS or the machine parallelism; results are identical to
       --threads 1, only wall-clock differs). The --mtbf/--mttr/
-      --failure-seed fault-injection flags work as in simulate.
+      --failure-seed fault-injection flags work as in simulate;
+      --telemetry-out concatenates every scheduler's JSONL stream into
+      FILE in table order.
 ";
 
 #[cfg(test)]

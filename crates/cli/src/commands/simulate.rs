@@ -5,7 +5,7 @@
 //! report includes the cell's wall-clock time and `--threads` is accepted
 //! for symmetry with `compare` (it cannot change a one-cell run).
 
-use hadar_sim::{SimConfig, SimOutcome, SimResult, Simulation};
+use hadar_sim::{SimConfig, SimOutcome, SimResult, Simulation, Telemetry};
 use hadar_workload::{generate_trace, load_trace_csv, ArrivalPattern, TraceConfig};
 
 use crate::args::{
@@ -14,8 +14,9 @@ use crate::args::{
 };
 use crate::commands::scheduler_by_name;
 
-/// Run one simulation. Returns `(report, per_job_csv)`.
-pub fn run(opts: &Options) -> Result<(String, String), String> {
+/// Run one simulation. Returns `(report, per_job_csv, telemetry_jsonl)`;
+/// the stream is `Some` only when `--telemetry-out` was given.
+pub fn run(opts: &Options) -> Result<(String, String, Option<String>), String> {
     let scheduler_name = opts
         .get("scheduler")
         .ok_or("--scheduler is required (hadar|gavel|tiresias|yarn)")?
@@ -67,20 +68,33 @@ pub fn run(opts: &Options) -> Result<(String, String), String> {
     config.failure = parse_failure(opts, config.round_length)?;
 
     let n = jobs.len();
+    let observe = opts.get("telemetry-out").is_some();
     let cell: Vec<Box<dyn FnOnce() -> SimResult + Send>> = vec![Box::new(move || {
         let scheduler =
             scheduler_by_name(&scheduler_name, round_threads).expect("validated scheduler name");
-        Simulation::new(cluster, jobs, config).run(scheduler)
+        let sink = if observe {
+            Telemetry::enabled()
+        } else {
+            Telemetry::disabled()
+        };
+        Simulation::new(cluster, jobs, config).run_with_telemetry(scheduler, sink)
     })];
     let result = runner
         .run(cell)
         .pop()
         .expect("one result for one simulation cell");
     let outcome = result.outcome.map_err(|e| e.to_string())?;
-    Ok((
-        render_report(&outcome, n, result.wall_seconds),
-        per_job_csv(&outcome),
-    ))
+    let mut report = render_report(&outcome, n, result.wall_seconds);
+    if observe {
+        let t = &outcome.telemetry;
+        report.push_str(&format!(
+            "\ntelemetry            : {} rounds, {} scheduled, {} preempted, \
+             {} evicted, max queue {}",
+            t.rounds, t.jobs_scheduled, t.jobs_preempted, t.jobs_evicted, t.max_queue_depth,
+        ));
+    }
+    let stream = outcome.telemetry_stream().map(str::to_owned);
+    Ok((report, per_job_csv(&outcome), stream))
 }
 
 fn render_report(out: &SimOutcome, submitted: usize, wall_seconds: f64) -> String {
@@ -171,7 +185,7 @@ mod tests {
 
     #[test]
     fn simulate_small_run() {
-        let (report, csv) = run(&opts(&[
+        let (report, csv, telemetry) = run(&opts(&[
             "--scheduler",
             "hadar",
             "--jobs",
@@ -183,11 +197,38 @@ mod tests {
         assert!(report.contains("jobs completed       : 6/6"));
         assert!(report.contains("Hadar"));
         assert_eq!(csv.lines().count(), 7);
+        // Without --telemetry-out the sink is disabled: no stream, no
+        // telemetry block in the report.
+        assert!(telemetry.is_none());
+        assert!(!report.contains("telemetry"));
+    }
+
+    #[test]
+    fn simulate_with_telemetry_out() {
+        for scheduler in ["hadar", "gavel", "tiresias", "yarn", "srtf"] {
+            let (report, _, telemetry) = run(&opts(&[
+                "--scheduler",
+                scheduler,
+                "--jobs",
+                "5",
+                "--seed",
+                "3",
+                "--telemetry-out",
+                "unused-by-this-test.jsonl",
+            ]))
+            .unwrap();
+            let stream = telemetry.expect("stream present with --telemetry-out");
+            let r = hadar_metrics::validate_telemetry_jsonl(&stream)
+                .unwrap_or_else(|e| panic!("{scheduler}: invalid stream: {e}"));
+            assert!(r.rounds > 0, "{scheduler}");
+            assert_eq!(r.completed, 5, "{scheduler}");
+            assert!(report.contains("telemetry"), "{scheduler}:\n{report}");
+        }
     }
 
     #[test]
     fn simulate_with_all_options() {
-        let (report, _) = run(&opts(&[
+        let (report, _, _) = run(&opts(&[
             "--scheduler",
             "tiresias",
             "--jobs",
@@ -214,7 +255,7 @@ mod tests {
     fn simulate_with_failures() {
         // An aggressive failure process (MTBF 0.5 h = 5 rounds) on a small
         // trace: the run finishes and the report grows the failure block.
-        let (report, _) = run(&opts(&[
+        let (report, _, _) = run(&opts(&[
             "--scheduler",
             "hadar",
             "--jobs",
@@ -265,7 +306,7 @@ mod tests {
         let (_, csv) =
             crate::commands::gen_trace::run(&opts(&["--jobs", "5", "--seed", "9"])).unwrap();
         std::fs::write(&path, csv).unwrap();
-        let (report, _) = run(&opts(&[
+        let (report, _, _) = run(&opts(&[
             "--scheduler",
             "gavel",
             "--trace",

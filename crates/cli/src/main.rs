@@ -36,7 +36,7 @@ fn main() {
             Err(e) => fail(&e),
         },
         "simulate" => match commands::simulate::run(&opts) {
-            Ok((report, csv)) => {
+            Ok((report, csv, telemetry)) => {
                 println!("{report}");
                 if let Some(path) = opts.get("csv") {
                     if let Err(e) = std::fs::write(path, csv) {
@@ -44,15 +44,35 @@ fn main() {
                     }
                     println!("per-job CSV written to {path}");
                 }
+                write_telemetry(&opts, telemetry);
             }
             Err(e) => fail(&e),
         },
         "compare" => match commands::compare::run(&opts) {
-            Ok(out) => println!("{out}"),
+            Ok((out, telemetry)) => {
+                println!("{out}");
+                write_telemetry(&opts, telemetry);
+            }
             Err(e) => fail(&e),
         },
         other => fail(&format!("unknown command {other:?}\n\n{}", commands::USAGE)),
     }
+}
+
+/// Write the telemetry JSONL stream to the `--telemetry-out` path. The
+/// stream is `Some` exactly when the flag was given (the subcommand only
+/// enables the sink then).
+fn write_telemetry(opts: &Options, stream: Option<String>) {
+    let Some(stream) = stream else {
+        return;
+    };
+    let path = opts
+        .get("telemetry-out")
+        .expect("stream implies --telemetry-out");
+    if let Err(e) = std::fs::write(path, stream) {
+        fail(&format!("cannot write {path:?}: {e}"));
+    }
+    println!("telemetry JSONL written to {path}");
 }
 
 fn fail(message: &str) -> ! {

@@ -138,6 +138,7 @@ impl Scheduler for HadarScheduler {
                 reused: true,
                 ..DecisionPhases::default()
             });
+            ctx.telemetry.incr("hadar.incremental_reuse", 1.0);
             return alloc;
         }
         // Profiling phase: substitute noisy estimates for under-observed
@@ -163,6 +164,27 @@ impl Scheduler for HadarScheduler {
             PriceState::compute(states, ctx.cluster, &self.config.utility, ctx.time)
         });
         self.last_bound = Some(prices.bound());
+        if ctx.telemetry.is_enabled() {
+            let bound = prices.bound();
+            ctx.telemetry.gauge("hadar.price_eta", prices.eta);
+            ctx.telemetry.gauge("hadar.alpha", bound.alpha);
+            ctx.telemetry.gauge("hadar.competitive_ratio", bound.ratio);
+            // Price-vector spread: the per-type utility bounds that drive
+            // Eq. 5 (max over types of U_max, min over types of the
+            // positive U_min — the inputs to α).
+            let mut hi = 0.0f64;
+            let mut lo = f64::INFINITY;
+            for r in ctx.cluster.catalog().ids() {
+                hi = hi.max(prices.u_max(r));
+                let l = prices.u_min(r);
+                if l > 0.0 {
+                    lo = lo.min(l);
+                }
+            }
+            ctx.telemetry.gauge("hadar.u_max", hi);
+            ctx.telemetry
+                .gauge("hadar.u_min", if lo.is_finite() { lo } else { 0.0 });
+        }
         let env = AllocEnv {
             cluster: ctx.cluster,
             comm: ctx.comm,
@@ -200,6 +222,11 @@ impl Scheduler for HadarScheduler {
             candidates_seconds,
         );
         let timings = self.round_profiler.finish_round();
+        if selection.budget_exhausted {
+            ctx.telemetry.incr("hadar.dp_budget_hits", 1.0);
+        }
+        ctx.telemetry
+            .gauge("hadar.candidate_gen_s", candidates_seconds);
         self.last_phases = Some(DecisionPhases {
             price_seconds: timings.price_seconds,
             candidates_seconds: timings.candidates_seconds,

@@ -10,7 +10,9 @@
 //! * [`ftf`] — finish-time fairness (Themis' ρ metric, used in Fig. 5),
 //! * [`report`] — plain-text table rendering for experiment binaries,
 //! * [`csv`] — small CSV writer used by the experiment harness (kept
-//!   dependency-free; see DESIGN.md §8 for why serde is not used).
+//!   dependency-free; see DESIGN.md §8 for why serde is not used),
+//! * [`telemetry`] — validator/summarizer for the simulator's per-round
+//!   telemetry JSONL stream (schema `hadar.telemetry.v1`).
 
 //!
 //! ```
@@ -25,9 +27,11 @@ pub mod csv;
 pub mod ftf;
 pub mod report;
 pub mod stats;
+pub mod telemetry;
 
 pub use chart::{bar_chart, line_chart};
 pub use csv::CsvWriter;
 pub use ftf::{finish_time_fairness, isolated_finish_time};
 pub use report::Table;
 pub use stats::{cdf_points, SummaryStats};
+pub use telemetry::{validate_telemetry_jsonl, TelemetryReport};

@@ -18,16 +18,20 @@ pub struct SummaryStats {
     pub p95: f64,
     /// Sample standard deviation (0.0 for fewer than two samples).
     pub stddev: f64,
+    /// NaN samples dropped before computing the statistics above. A corrupt
+    /// measurement is surfaced here instead of panicking the whole sweep
+    /// cell (or silently poisoning every aggregate).
+    pub nan_count: usize,
 }
 
 impl SummaryStats {
-    /// Compute statistics over `values`. NaNs are rejected.
-    ///
-    /// # Panics
-    /// Panics if any value is NaN.
+    /// Compute statistics over `values`. NaN samples are filtered out and
+    /// counted in [`SummaryStats::nan_count`]; the remaining statistics
+    /// cover only the finite-or-infinite (comparable) samples.
     pub fn of(values: &[f64]) -> Self {
-        assert!(values.iter().all(|v| !v.is_nan()), "NaN in metric sample");
-        if values.is_empty() {
+        let mut sorted: Vec<f64> = values.iter().copied().filter(|v| !v.is_nan()).collect();
+        let nan_count = values.len() - sorted.len();
+        if sorted.is_empty() {
             return Self {
                 count: 0,
                 mean: 0.0,
@@ -36,10 +40,10 @@ impl SummaryStats {
                 max: 0.0,
                 p95: 0.0,
                 stddev: 0.0,
+                nan_count,
             };
         }
-        let mut sorted = values.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        sorted.sort_by(f64::total_cmp);
         let n = sorted.len();
         let mean = sorted.iter().sum::<f64>() / n as f64;
         let var = if n > 1 {
@@ -55,6 +59,7 @@ impl SummaryStats {
             max: sorted[n - 1],
             p95: percentile_sorted(&sorted, 95.0),
             stddev: var.sqrt(),
+            nan_count,
         }
     }
 }
@@ -84,8 +89,18 @@ pub fn cdf_points(completion_times: &[f64]) -> Vec<(f64, f64)> {
     if completion_times.is_empty() {
         return Vec::new();
     }
-    let mut sorted = completion_times.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in CDF input"));
+    // A NaN completion time cannot be placed on the CDF; drop it rather
+    // than panic (it also must not inflate the denominator, or the curve
+    // would never reach 1.0).
+    let mut sorted: Vec<f64> = completion_times
+        .iter()
+        .copied()
+        .filter(|v| !v.is_nan())
+        .collect();
+    if sorted.is_empty() {
+        return Vec::new();
+    }
+    sorted.sort_by(f64::total_cmp);
     let n = sorted.len() as f64;
     let mut out: Vec<(f64, f64)> = Vec::new();
     for (i, t) in sorted.iter().enumerate() {
@@ -146,9 +161,28 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "NaN")]
-    fn summary_rejects_nan() {
-        SummaryStats::of(&[1.0, f64::NAN]);
+    fn summary_filters_nan_samples() {
+        // Regression: a single NaN JCT used to panic the whole summary via
+        // `partial_cmp().expect("no NaN")`. It is now dropped and counted.
+        let s = SummaryStats::of(&[1.0, f64::NAN, 3.0]);
+        assert_eq!(s.nan_count, 1);
+        assert_eq!(s.count, 2);
+        assert!((s.mean - 2.0).abs() < 1e-12);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 3.0);
+
+        let all_nan = SummaryStats::of(&[f64::NAN, f64::NAN]);
+        assert_eq!(all_nan.nan_count, 2);
+        assert_eq!(all_nan.count, 0);
+        assert_eq!(all_nan.mean, 0.0);
+    }
+
+    #[test]
+    fn cdf_filters_nan_and_still_reaches_one() {
+        let pts = cdf_points(&[2.0, f64::NAN, 1.0]);
+        assert_eq!(pts.len(), 2);
+        assert_eq!(pts.last().unwrap().1, 1.0);
+        assert!(cdf_points(&[f64::NAN]).is_empty());
     }
 
     #[test]

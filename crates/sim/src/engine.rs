@@ -13,6 +13,7 @@ use crate::failure::{FailureModel, FailureState};
 use crate::scheduler::{JobState, Scheduler, SchedulerContext};
 use crate::stats::{JobRecord, RoundRecord, SimOutcome};
 use crate::straggler::{StragglerModel, StragglerState};
+use crate::telemetry::{RoundSnapshot, Telemetry};
 
 /// Simulation parameters.
 #[derive(Debug, Clone, Copy)]
@@ -115,7 +116,22 @@ impl Simulation {
     /// invalid or the scheduler violates the allocation constraints, so one
     /// bad cell in a parallel sweep degrades into an error row rather than
     /// aborting every worker.
-    pub fn run<S: Scheduler>(self, mut scheduler: S) -> SimResult {
+    pub fn run<S: Scheduler>(self, scheduler: S) -> SimResult {
+        self.run_with_telemetry(scheduler, Telemetry::disabled())
+    }
+
+    /// [`Simulation::run`] with a [`Telemetry`] sink attached. The sink is
+    /// purely observational: with [`Telemetry::disabled`] every emission is
+    /// a no-op and this is exactly `run`; with [`Telemetry::enabled`] the
+    /// outcome additionally carries a per-round JSONL stream
+    /// ([`SimOutcome::telemetry_stream`]) and aggregate counters
+    /// ([`SimOutcome::telemetry`]) — the simulated schedule itself is
+    /// byte-identical either way.
+    pub fn run_with_telemetry<S: Scheduler>(
+        self,
+        mut scheduler: S,
+        telemetry: Telemetry,
+    ) -> SimResult {
         let Simulation {
             cluster,
             jobs,
@@ -124,6 +140,22 @@ impl Simulation {
         config.validate()?;
         let num_jobs = jobs.len();
         let round = config.round_length;
+        telemetry.begin_run(
+            scheduler.name(),
+            cluster.total_gpus(),
+            cluster.num_machines(),
+            num_jobs,
+            round,
+        );
+        let type_names: Vec<String> = if telemetry.is_enabled() {
+            cluster
+                .catalog()
+                .ids()
+                .map(|r| cluster.catalog().name(r).to_owned())
+                .collect()
+        } else {
+            Vec::new()
+        };
 
         // Records indexed by job id.
         let mut records: Vec<Option<JobRecord>> = vec![None; num_jobs];
@@ -162,6 +194,8 @@ impl Simulation {
                     }
                 }
             }
+            let mut arrivals_this_round = 0u32;
+            let mut evicted_this_round = 0u32;
             // A job arriving exactly at the round boundary is admitted; one
             // arriving mid-round waits for the next boundary.
             while pending
@@ -191,6 +225,7 @@ impl Simulation {
                     reallocations: 0,
                 });
                 active.push(JobState::new(job));
+                arrivals_this_round += 1;
             }
 
             // Advance the fault processes: straggler throughput factors,
@@ -230,6 +265,7 @@ impl Simulation {
                         state.remaining_iters += state.last_round_iters;
                         state.last_round_iters = 0.0;
                         state.placement = JobPlacement::empty();
+                        evicted_this_round += 1;
                     }
                 }
             }
@@ -243,6 +279,7 @@ impl Simulation {
                 comm: &config.comm,
                 machine_factors: &machine_factors,
                 availability,
+                telemetry: &telemetry,
             };
             let t0 = Instant::now();
             let allocation = scheduler.schedule(&ctx);
@@ -276,6 +313,15 @@ impl Simulation {
             let mut held_gpu_seconds = 0.0;
             let mut reallocations = 0u32;
             let mut running_jobs = 0u32;
+            let mut scheduled_this_round = 0u32;
+            let mut preempted_this_round = 0u32;
+            let queue_depth = active.len() as u32;
+            // Allocated-GPU split per type, collected only when observing.
+            let mut util_gpus: Vec<u32> = if telemetry.is_enabled() {
+                vec![0; cluster.num_types()]
+            } else {
+                Vec::new()
+            };
             let mut finished: Vec<JobId> = Vec::new();
             let mut completions: Vec<SimEvent> = Vec::new();
 
@@ -303,9 +349,18 @@ impl Simulation {
                             time,
                             job: state.job.id,
                         });
+                        preempted_this_round += 1;
                     }
                     state.placement = new_placement;
                     continue;
+                }
+                if state.placement.is_empty() {
+                    scheduled_this_round += 1;
+                }
+                if !util_gpus.is_empty() {
+                    for sl in new_placement.slices() {
+                        util_gpus[sl.gpu.index()] += sl.count;
+                    }
                 }
                 if changed {
                     if state.first_scheduled.is_none() {
@@ -324,9 +379,12 @@ impl Simulation {
                     }
                 }
                 running_jobs += 1;
-                let rec = records[state.job.id.index()]
-                    .as_mut()
-                    .expect("active job has a record");
+                // An active job without a record is an engine bookkeeping
+                // bug; degrade into an error row instead of panicking the
+                // whole sweep worker.
+                let Some(rec) = records[state.job.id.index()].as_mut() else {
+                    return Err(SimError::MissingRecord { job: state.job.id });
+                };
                 rec.rounds_run += 1;
                 if changed {
                     rec.reallocations += 1;
@@ -379,9 +437,22 @@ impl Simulation {
                     let factor_of = |h: MachineId| -> f64 {
                         machine_factors.get(h.index()).copied().unwrap_or(1.0)
                     };
-                    let bottleneck = new_placement
+                    let Some(bottleneck) = new_placement
                         .bottleneck_rate_per_slice(|h, r| state.job.profile.rate(r) * factor_of(h))
-                        .expect("non-empty placement with positive rate");
+                    else {
+                        // `rate > 0.0` above implies a positive bottleneck
+                        // over the same slices; reaching this branch means
+                        // the rate model disagrees with itself.
+                        return Err(SimError::InvariantViolation {
+                            scheduler: scheduler.name().to_owned(),
+                            round: round_no,
+                            detail: format!(
+                                "job {} holds a non-empty placement with no \
+                                 positive per-slice rate",
+                                state.job.id
+                            ),
+                        });
+                    };
                     for sl in new_placement.slices() {
                         let x = state.job.profile.rate(sl.gpu) * factor_of(sl.machine);
                         let weight = if x > 0.0 { bottleneck / x } else { 0.0 };
@@ -411,6 +482,32 @@ impl Simulation {
                 phases,
                 bookkeeping_seconds: bk0.elapsed().as_secs_f64(),
             });
+            if telemetry.is_enabled() {
+                let util_by_type: Vec<(String, u32)> = type_names
+                    .iter()
+                    .cloned()
+                    .zip(util_gpus.iter().copied())
+                    .collect();
+                telemetry.record_round(&RoundSnapshot {
+                    round: round_no,
+                    time: time - round,
+                    queue_depth,
+                    running: running_jobs,
+                    scheduled: scheduled_this_round,
+                    preempted: preempted_this_round,
+                    evicted: evicted_this_round,
+                    completed: finished.len() as u32,
+                    arrivals: arrivals_this_round,
+                    reallocations,
+                    demand_gpus,
+                    busy_gpu_seconds,
+                    held_gpu_seconds,
+                    machines_down: availability.num_down() as u32,
+                    decision_seconds,
+                    phases,
+                    util_by_type: &util_by_type,
+                });
+            }
         }
 
         // A run that hits the round cap before every job has arrived leaves
@@ -437,6 +534,9 @@ impl Simulation {
             })
             .collect::<Result<Vec<_>, _>>()?;
 
+        telemetry.finish_run();
+        let telemetry_summary = telemetry.summary();
+        let telemetry_stream = telemetry.into_stream();
         Ok(SimOutcome::new(
             scheduler.name().to_owned(),
             records,
@@ -445,6 +545,8 @@ impl Simulation {
             cluster,
             timed_out,
             events,
+            telemetry_summary,
+            telemetry_stream,
         ))
     }
 }

@@ -43,6 +43,18 @@ pub enum SimError {
         /// The job without a record.
         job: JobId,
     },
+    /// The engine caught a mid-round invariant violation (e.g. a non-empty
+    /// placement with no positive bottleneck rate). Like
+    /// [`SimError::MissingRecord`] this indicates an engine or model bug,
+    /// but surfaces as an error row instead of a panicked sweep cell.
+    InvariantViolation {
+        /// Scheduler display name.
+        scheduler: String,
+        /// 1-based round number in which the violation was detected.
+        round: u64,
+        /// The broken invariant, rendered.
+        detail: String,
+    },
     /// A sweep cell panicked; the payload is the panic message. Produced by
     /// [`crate::SweepRunner`], never by the engine itself.
     CellPanicked(String),
@@ -71,6 +83,14 @@ impl fmt::Display for SimError {
             SimError::MissingRecord { job } => {
                 write!(f, "job {job} finished the run without a record")
             }
+            SimError::InvariantViolation {
+                scheduler,
+                round,
+                detail,
+            } => write!(
+                f,
+                "{scheduler}: engine invariant violated in round {round}: {detail}"
+            ),
             SimError::CellPanicked(msg) => write!(f, "sweep cell panicked: {msg}"),
         }
     }
@@ -113,5 +133,15 @@ mod tests {
         }
         .to_string()
         .contains("unknown"));
+
+        let iv = SimError::InvariantViolation {
+            scheduler: "Fifo".into(),
+            round: 9,
+            detail: "zero-rate placement for J2".into(),
+        };
+        let s = iv.to_string();
+        assert!(s.contains("Fifo"), "{s}");
+        assert!(s.contains("round 9"), "{s}");
+        assert!(s.contains("invariant"), "{s}");
     }
 }

@@ -71,6 +71,7 @@ pub mod runner;
 pub mod scheduler;
 pub mod stats;
 pub mod straggler;
+pub mod telemetry;
 
 pub use checkpoint::{CheckpointModel, PreemptionPenalty};
 pub use engine::{job_rate, job_rate_full, job_rate_with, SimConfig, Simulation};
@@ -81,3 +82,4 @@ pub use runner::{run_parallel, CellResult, SweepRunner};
 pub use scheduler::{DecisionPhases, JobState, Scheduler, SchedulerContext};
 pub use stats::{JobRecord, RoundRecord, SimOutcome};
 pub use straggler::{StragglerModel, StragglerState};
+pub use telemetry::{RoundSnapshot, Telemetry, TelemetrySummary, TELEMETRY_SCHEMA};

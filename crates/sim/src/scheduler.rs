@@ -4,6 +4,8 @@
 use hadar_cluster::{Allocation, Availability, Cluster, CommCostModel, JobPlacement};
 use hadar_workload::Job;
 
+use crate::telemetry::Telemetry;
+
 /// The simulator-maintained state of one job visible to schedulers.
 #[derive(Debug, Clone)]
 pub struct JobState {
@@ -72,6 +74,11 @@ pub struct SchedulerContext<'a> {
     /// Down machines must not be placed on; the engine strips any placement
     /// that touches one, so the job loses the round.
     pub availability: &'a Availability,
+    /// The run's telemetry sink. Policies fold per-round counters into it
+    /// via [`Telemetry::incr`] / [`Telemetry::gauge`]; every call is a no-op
+    /// when the sink is disabled (the default), so emission must stay purely
+    /// observational — never consult the sink to make a decision.
+    pub telemetry: &'a Telemetry,
 }
 
 impl SchedulerContext<'_> {

@@ -4,6 +4,7 @@ use hadar_cluster::{Cluster, JobId};
 
 use crate::event::SimEvent;
 use crate::scheduler::DecisionPhases;
+use crate::telemetry::TelemetrySummary;
 use hadar_metrics::stats::{cdf_points, SummaryStats};
 use hadar_metrics::{finish_time_fairness, isolated_finish_time};
 use hadar_workload::Job;
@@ -81,8 +82,13 @@ pub struct SimOutcome {
     pub total_gpus: u32,
     /// Whether the simulation hit its round cap before all jobs finished.
     pub timed_out: bool,
+    /// Aggregate telemetry counters (empty/default when the run used a
+    /// disabled [`crate::Telemetry`] sink, i.e. plain
+    /// [`crate::Simulation::run`]).
+    pub telemetry: TelemetrySummary,
     cluster: Cluster,
     events: Vec<SimEvent>,
+    telemetry_stream: Option<String>,
 }
 
 impl SimOutcome {
@@ -95,6 +101,8 @@ impl SimOutcome {
         cluster: Cluster,
         timed_out: bool,
         events: Vec<SimEvent>,
+        telemetry: TelemetrySummary,
+        telemetry_stream: Option<String>,
     ) -> Self {
         let total_gpus = cluster.total_gpus();
         Self {
@@ -104,9 +112,18 @@ impl SimOutcome {
             round_length,
             total_gpus,
             timed_out,
+            telemetry,
             cluster,
             events,
+            telemetry_stream,
         }
+    }
+
+    /// The per-round JSONL telemetry stream, when the run was executed with
+    /// an enabled [`crate::Telemetry`] sink
+    /// ([`crate::Simulation::run_with_telemetry`]); `None` otherwise.
+    pub fn telemetry_stream(&self) -> Option<&str> {
+        self.telemetry_stream.as_deref()
     }
 
     /// The chronological lifecycle event log of the run.
@@ -428,6 +445,8 @@ mod tests {
             cluster,
             false,
             Vec::new(),
+            TelemetrySummary::default(),
+            None,
         )
     }
 
@@ -480,6 +499,27 @@ mod tests {
     #[test]
     fn decision_time_mean() {
         assert!((outcome().mean_decision_seconds() - 0.002).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nan_jct_sample_does_not_panic_metrics() {
+        // Regression: a corrupt finish time used to abort `metrics()` inside
+        // SummaryStats' partial_cmp sort. The NaN sample is now filtered and
+        // surfaced via `nan_count` instead.
+        let mut o = outcome();
+        o.records[0].finish = Some(f64::NAN);
+        let m = o.metrics();
+        assert_eq!(m.nan_count, 1);
+        assert_eq!(m.count, 1); // only the finite JCT remains
+        assert!(m.mean.is_finite());
+        assert!(o.mean_jct().is_finite());
+    }
+
+    #[test]
+    fn telemetry_default_when_disabled() {
+        let o = outcome();
+        assert_eq!(o.telemetry, TelemetrySummary::default());
+        assert!(o.telemetry_stream().is_none());
     }
 
     #[test]
@@ -541,6 +581,8 @@ mod tests {
             cluster,
             false,
             events,
+            TelemetrySummary::default(),
+            None,
         );
         assert_eq!(o.evictions(), 1);
         assert_eq!(o.machine_failures(), 2);
